@@ -1,0 +1,170 @@
+"""E10 (Section 5 future work): private regression and density estimation.
+
+The paper announces both as work in progress; this bench realizes them
+with the PAC-Bayes/Gibbs machinery and a classical comparator each:
+
+* regression: Gibbs over a coefficient lattice vs sufficient-statistics
+  perturbation vs non-private ridge — excess MSE vs ε;
+* density estimation: Gibbs over a Beta-shape family vs the Laplace
+  histogram — total variation to the true binned density vs ε.
+
+Expected shape (asserted): both private methods improve with ε and
+approach the non-private reference. For regression, the Gibbs lattice is
+dramatically more robust at small ε (its hypothesis space is bounded,
+while noisy sufficient statistics can explode) and the specialized
+comparator wins at large ε (no lattice floor) — the E7 crossover again.
+For density estimation the crossover runs the *other* way: the Laplace
+histogram degrades gracefully at small ε (renormalization caps the
+damage), while the Gibbs family needs enough ε to identify the right
+shape — but once it does, its strong inductive bias beats the
+histogram's sampling-noise floor.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import print_header
+from repro.experiments import ResultTable
+from repro.learning import LinearRegressionTask, RidgeRegressionModel
+from repro.private_learning import (
+    GibbsDensityEstimator,
+    GibbsRidgeRegression,
+    LaplaceHistogramDensity,
+    SufficientStatisticsRidge,
+    discretize_density,
+)
+
+EPSILONS = [0.1, 0.5, 2.0, 10.0, 50.0]
+SEEDS = 8
+
+
+def test_e10_private_regression(benchmark):
+    task = LinearRegressionTask([0.8, -0.5], noise=0.1)
+    x, y = task.sample(600, random_state=0)
+    y = np.clip(y, -1, 1)
+    x_test, y_test = task.sample(3_000, random_state=99)
+    y_test = np.clip(y_test, -1, 1)
+
+    nonprivate = RidgeRegressionModel(regularization=0.01).fit(x, y)
+    floor = nonprivate.mean_squared_error(x_test, y_test)
+
+    def run():
+        rows = []
+        for eps in EPSILONS:
+            gibbs_mse, stats_mse = [], []
+            for seed in range(SEEDS):
+                gibbs = GibbsRidgeRegression(
+                    2, eps, len(y), radius=1.5, points_per_axis=7
+                ).fit(x, y, random_state=seed)
+                stats = SufficientStatisticsRidge(
+                    2, eps, regularization=0.01
+                ).fit(x, y, random_state=seed)
+                gibbs_mse.append(gibbs.mean_squared_error(x_test, y_test))
+                stats_mse.append(stats.mean_squared_error(x_test, y_test))
+            rows.append(
+                {
+                    "epsilon": eps,
+                    "gibbs": float(np.mean(gibbs_mse)),
+                    "stats": float(np.mean(stats_mse)),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header(
+        "E10a / future work (§5)",
+        f"private regression: test MSE vs ε (non-private floor {floor:.4f})",
+    )
+    table = ResultTable(
+        ["epsilon", "Gibbs lattice MSE", "suff-stats MSE", "non-private MSE"],
+        title=f"n=600, d=2, {SEEDS} seeds",
+    )
+    for row in rows:
+        table.add_row(row["epsilon"], row["gibbs"], row["stats"], floor)
+    print(table)
+
+    # Both improve with ε overall.
+    for key in ("gibbs", "stats"):
+        values = [r[key] for r in rows]
+        assert values[-1] <= values[0] + 1e-9
+    # At the largest ε both are close to the floor (Gibbs pays its lattice).
+    assert rows[-1]["stats"] <= floor * 1.2 + 0.01
+    assert rows[-1]["gibbs"] <= floor + 0.05
+    # Crossover: Gibbs is the more robust of the two at the smallest ε.
+    assert rows[0]["gibbs"] <= rows[0]["stats"]
+
+
+def test_e10_private_density(benchmark):
+    rng = np.random.default_rng(1)
+    data = rng.beta(8.0, 2.0, size=900)
+    truth = discretize_density(
+        lambda x: x**7 * (1 - x) if 0 < x < 1 else 0.0, 16
+    )
+
+    def run():
+        rows = []
+        for eps in EPSILONS:
+            gibbs_tv, hist_tv = [], []
+            for seed in range(SEEDS):
+                gibbs = GibbsDensityEstimator(eps, len(data), bins=16).fit(
+                    data, random_state=seed
+                )
+                hist = LaplaceHistogramDensity(eps, bins=16).fit(
+                    data, random_state=seed
+                )
+                gibbs_tv.append(gibbs.total_variation_to(truth))
+                hist_tv.append(hist.total_variation_to(truth))
+            rows.append(
+                {
+                    "epsilon": eps,
+                    "gibbs": float(np.mean(gibbs_tv)),
+                    "histogram": float(np.mean(hist_tv)),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header(
+        "E10b / future work (§5)",
+        "private density estimation: TV to truth vs ε (Beta(8,2) data)",
+    )
+    table = ResultTable(
+        ["epsilon", "Gibbs family TV", "Laplace histogram TV"],
+        title=f"n=900, 16 bins, {SEEDS} seeds",
+    )
+    for row in rows:
+        table.add_row(row["epsilon"], row["gibbs"], row["histogram"])
+    print(table)
+
+    for key in ("gibbs", "histogram"):
+        values = [r[key] for r in rows]
+        assert values[-1] <= values[0] + 1e-9
+    # Small ε: the renormalized histogram degrades gracefully while the
+    # Gibbs posterior is still near-uniform over shapes.
+    assert rows[0]["histogram"] <= rows[0]["gibbs"]
+    # Large ε: the Gibbs family's inductive bias beats the histogram's
+    # sampling-noise floor.
+    assert rows[-1]["gibbs"] <= rows[-1]["histogram"]
+
+
+def test_e10_gibbs_regression_fit_speed(benchmark):
+    task = LinearRegressionTask([0.8, -0.5], noise=0.1)
+    x, y = task.sample(600, random_state=2)
+    y = np.clip(y, -1, 1)
+    model = benchmark(
+        lambda: GibbsRidgeRegression(
+            2, 1.0, len(y), points_per_axis=7
+        ).fit(x, y, random_state=0)
+    )
+    assert model.coefficients.shape == (2,)
+
+
+def test_e10_density_fit_speed(benchmark):
+    rng = np.random.default_rng(3)
+    data = rng.beta(3.0, 3.0, size=900)
+    est = benchmark(
+        lambda: GibbsDensityEstimator(1.0, len(data)).fit(data, random_state=0)
+    )
+    assert est.bin_probabilities is not None

@@ -1,0 +1,190 @@
+"""E8 (Section 2 background, Theorems 2.3 / 2.5): mechanism guarantees.
+
+Laplace / geometric / randomized-response / exponential mechanisms: exact
+(or analytic) privacy audits against their nominal ε, plus the utility
+curves (error vs ε) that make the privacy–accuracy tradeoff concrete.
+
+Expected shape (asserted): geometric and randomized response are *sharp*
+(measured == nominal); Laplace's analytic ratio equals ε in the tail; the
+exponential mechanism is within but can be strictly below its budget; mean
+absolute error of additive mechanisms scales as Δf/ε.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import print_header
+from repro.distributions import DiscreteDistribution
+from repro.experiments import ResultTable
+from repro.mechanisms import (
+    ExponentialMechanism,
+    GeometricMechanism,
+    LaplaceMechanism,
+    RandomizedResponse,
+)
+from repro.privacy import ExactPrivacyAuditor
+
+EPSILONS = [0.1, 0.5, 1.0, 2.0]
+
+
+def count_query(dataset):
+    return float(sum(dataset))
+
+
+def geometric_output_law(mechanism, dataset, support):
+    center = int(count_query(dataset))
+    probs = np.array(
+        [np.exp(mechanism.noise_log_pmf(v - center)) for v in support]
+    )
+    return DiscreteDistribution(list(support), probs / probs.sum())
+
+
+def test_e8_privacy_audit_table(benchmark):
+    def run():
+        rows = []
+        for eps in EPSILONS:
+            # Geometric: exact audit over a truncated (renormalized) support
+            # wide enough that truncation error is ~0.
+            geom = GeometricMechanism(count_query, 1.0, eps)
+            support = range(-200, 204)
+            auditor = ExactPrivacyAuditor(
+                lambda d, geom=geom: geometric_output_law(geom, d, support)
+            )
+            geom_measured = auditor.audit([0, 1], n=3).measured_epsilon
+
+            # Randomized response: sharp 2x2 channel.
+            rr = RandomizedResponse(eps)
+            rr_measured = rr.as_channel().max_log_ratio()
+
+            # Laplace: analytic worst-case ratio (tail value).
+            lap = LaplaceMechanism(count_query, 1.0, eps)
+            lap_measured = abs(
+                lap.output_log_density([0, 0], 50.0)
+                - lap.output_log_density([0, 1], 50.0)
+            )
+
+            # Exponential mechanism: exact audit on a 4-point range.
+            exp_mech = ExponentialMechanism(
+                lambda d, u: -abs(sum(d) - u),
+                outputs=range(4),
+                sensitivity=1.0,
+                epsilon=eps,
+            )
+            exp_measured = (
+                ExactPrivacyAuditor(exp_mech.output_distribution)
+                .audit([0, 1], n=3)
+                .measured_epsilon
+            )
+            rows.append(
+                {
+                    "epsilon": eps,
+                    "geometric": geom_measured,
+                    "randomized_response": rr_measured,
+                    "laplace": lap_measured,
+                    "exponential": exp_measured,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header(
+        "E8 / Theorems 2.3 & 2.5",
+        "measured privacy loss vs nominal ε, per mechanism",
+    )
+    table = ResultTable(
+        ["nominal eps", "geometric", "randomized resp", "laplace", "exp mech"],
+        title="measured worst-case log-ratio (exact/analytic)",
+    )
+    for row in rows:
+        table.add_row(
+            row["epsilon"],
+            row["geometric"],
+            row["randomized_response"],
+            row["laplace"],
+            row["exponential"],
+        )
+    print(table)
+
+    for row in rows:
+        eps = row["epsilon"]
+        # Sharp mechanisms: measured == nominal.
+        assert row["geometric"] == pytest.approx(eps, abs=1e-6)
+        assert row["randomized_response"] == pytest.approx(eps, abs=1e-9)
+        assert row["laplace"] == pytest.approx(eps, abs=1e-9)
+        # Exponential: within budget (possibly strictly below).
+        assert row["exponential"] <= eps + 1e-9
+
+
+def test_e8_utility_curves(benchmark):
+    """Mean absolute error vs ε for the additive-noise mechanisms."""
+
+    def run():
+        rows = []
+        rng = np.random.default_rng(0)
+        dataset = [1, 0, 1, 1, 0]
+        truth = count_query(dataset)
+        for eps in EPSILONS:
+            lap = LaplaceMechanism(count_query, 1.0, eps)
+            geom = GeometricMechanism(count_query, 1.0, eps)
+            lap_err = np.mean(
+                [
+                    abs(lap.release(dataset, random_state=rng) - truth)
+                    for _ in range(5_000)
+                ]
+            )
+            geom_err = np.mean(
+                [
+                    abs(geom.release(dataset, random_state=rng) - truth)
+                    for _ in range(5_000)
+                ]
+            )
+            rows.append(
+                {
+                    "epsilon": eps,
+                    "laplace_mae": float(lap_err),
+                    "laplace_theory": lap.expected_absolute_error(),
+                    "geometric_mae": float(geom_err),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("E8b", "utility: mean absolute error vs ε (count query)")
+    table = ResultTable(
+        ["epsilon", "laplace MAE", "laplace theory Δf/ε", "geometric MAE"],
+    )
+    for row in rows:
+        table.add_row(
+            row["epsilon"],
+            row["laplace_mae"],
+            row["laplace_theory"],
+            row["geometric_mae"],
+        )
+    print(table)
+
+    # Error decreases with ε and matches the Δf/ε theory for Laplace.
+    maes = [r["laplace_mae"] for r in rows]
+    assert all(a >= b for a, b in zip(maes, maes[1:]))
+    for row in rows:
+        assert row["laplace_mae"] == pytest.approx(
+            row["laplace_theory"], rel=0.1
+        )
+
+
+def test_e8_laplace_release_speed(benchmark):
+    mech = LaplaceMechanism(count_query, 1.0, 1.0)
+    rng = np.random.default_rng(1)
+    benchmark(lambda: mech.release([1, 0, 1], random_state=rng))
+
+
+def test_e8_exponential_release_speed(benchmark):
+    mech = ExponentialMechanism(
+        lambda d, u: -abs(sum(d) - u),
+        outputs=range(64),
+        sensitivity=1.0,
+        epsilon=1.0,
+    )
+    rng = np.random.default_rng(2)
+    benchmark(lambda: mech.release([1, 0, 1], random_state=rng))

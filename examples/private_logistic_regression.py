@@ -1,0 +1,80 @@
+"""Scenario: private credit-approval classifier, three ways.
+
+A lender trains an approve/decline classifier on sensitive applicant data
+(synthetic two-Gaussian features, ‖x‖ ≤ 1) and must release the model under
+ε-DP. The script compares, across ε:
+
+* non-private regularized logistic regression (the ceiling);
+* output perturbation  — perturb the exact ERM solution (Chaudhuri et al.);
+* objective perturbation — perturb the objective before solving;
+* the paper's generic route — the Gibbs/exponential-mechanism learner over
+  a grid of 64 directions, needing no convexity or smoothness at all.
+
+Run:  python examples/private_logistic_regression.py
+"""
+
+import numpy as np
+
+from repro import LogisticRegressionModel, TwoGaussiansTask
+from repro.experiments import ResultTable
+from repro.learning import LogisticLoss
+from repro.private_learning import (
+    ExponentialMechanismLearner,
+    ObjectivePerturbationClassifier,
+    OutputPerturbationClassifier,
+)
+
+N_TRAIN = 800
+SEEDS = 8
+EPSILONS = [0.1, 0.5, 2.0, 10.0]
+REGULARIZATION = 0.01
+
+
+def main() -> None:
+    task = TwoGaussiansTask([1.5, 0.3], clip_features=True)
+    x_train, y_train = task.sample(N_TRAIN, random_state=0)
+    x_test, y_test = task.sample(5_000, random_state=123)
+
+    ceiling = LogisticRegressionModel(REGULARIZATION).fit(x_train, y_train)
+    ceiling_acc = ceiling.accuracy(x_test, y_test)
+    print(f"non-private logistic regression accuracy: {ceiling_acc:.3f}")
+    print(f"(both private baselines assume ‖x‖ ≤ 1 and a 1-Lipschitz loss)\n")
+
+    table = ResultTable(
+        ["epsilon", "output-pert", "objective-pert", "gibbs grid-64"],
+        title=f"mean test accuracy over {SEEDS} seeds (ceiling "
+        f"{ceiling_acc:.3f})",
+    )
+    for eps in EPSILONS:
+        out_acc, obj_acc, gibbs_acc = [], [], []
+        for seed in range(SEEDS):
+            out = OutputPerturbationClassifier(
+                LogisticLoss(), REGULARIZATION, eps
+            ).fit(x_train, y_train, random_state=seed)
+            obj = ObjectivePerturbationClassifier(
+                LogisticLoss(), REGULARIZATION, eps
+            ).fit(x_train, y_train, random_state=seed)
+            gibbs = ExponentialMechanismLearner(
+                2, eps, N_TRAIN, resolution=64
+            ).fit(x_train, y_train, random_state=seed)
+            out_acc.append(out.accuracy(x_test, y_test))
+            obj_acc.append(obj.accuracy(x_test, y_test))
+            gibbs_acc.append(gibbs.accuracy(x_test, y_test))
+        table.add_row(
+            eps,
+            float(np.mean(out_acc)),
+            float(np.mean(obj_acc)),
+            float(np.mean(gibbs_acc)),
+        )
+    print(table)
+
+    print(
+        "\nreading: objective perturbation dominates output perturbation at\n"
+        "moderate ε (its noise enters before the optimization); the generic\n"
+        "Gibbs learner is competitive everywhere despite knowing nothing\n"
+        "about convexity — it pays only the 64-direction discretization."
+    )
+
+
+if __name__ == "__main__":
+    main()

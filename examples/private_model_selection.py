@@ -1,0 +1,87 @@
+"""Scenario: tuning the privacy–accuracy knob, privately.
+
+The Gibbs temperature λ is a hyperparameter: too small and the posterior
+ignores the data, too large and it overfits and burns privacy. This
+script shows both selection modes on a coin-prediction task:
+
+1. non-private selection — minimize the Catoni bound over a λ grid with a
+   union-bounded certificate that stays valid after the choice;
+2. fully private selection — pick λ with the exponential mechanism (the
+   free energy is its quality score), then release a predictor from the
+   Gibbs posterior at that λ, with honest total accounting;
+3. the information-theoretic epilogue: the released channel's exact
+   generalization gap against its Xu–Raginsky mutual-information bound.
+
+Run:  python examples/private_model_selection.py
+"""
+
+import numpy as np
+
+from repro import BernoulliTask, DiscreteDistribution, GibbsEstimator, PredictorGrid
+from repro.core import (
+    LearningChannel,
+    generalization_report,
+    private_gibbs_with_selection,
+    select_temperature_by_bound,
+)
+from repro.experiments import ResultTable
+
+N = 200
+TEMPERATURES = [0.5, 2.0, 8.0, 14.0, 32.0, 64.0]
+
+
+def main() -> None:
+    task = BernoulliTask(p=0.8)
+    sample = list(task.sample(N, random_state=0))
+    grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 9)
+
+    # --- 1. Non-private bound-driven selection. --------------------------
+    chosen = select_temperature_by_bound(
+        grid, sample, TEMPERATURES, delta=0.05
+    )
+    print("non-private selection (union-bounded Catoni certificates):")
+    table = ResultTable(["lambda", "certificate"], title="δ = 0.05 overall")
+    for lam in TEMPERATURES:
+        table.add_row(lam, chosen.per_candidate[lam])
+    print(table)
+    print(f"  selected λ = {chosen.temperature} "
+          f"(certificate {chosen.bound_value:.4f})\n")
+
+    # --- 2. Fully private pipeline. ---------------------------------------
+    result = private_gibbs_with_selection(
+        grid,
+        sample,
+        TEMPERATURES,
+        selection_epsilon=0.5,
+        release_epsilon_budget=1.0,
+        random_state=1,
+    )
+    print("private pipeline (selection ε=0.5 + release budget ε=1.0):")
+    print(f"  selected λ        = {result.temperature}")
+    print(f"  released θ        = {result.theta:.3f} "
+          f"(true risk {task.true_risk(result.theta):.4f}, "
+          f"Bayes {task.bayes_risk():.4f})")
+    print(f"  total guarantee   = {result.privacy}\n")
+
+    # --- 3. What the released channel leaks and how much it overfits. ----
+    mini_n = 3
+    estimator = GibbsEstimator.from_privacy(grid, 1.0, expected_sample_size=mini_n)
+    channel = LearningChannel(
+        DiscreteDistribution([0, 1], [0.2, 0.8]), mini_n, estimator.gibbs.posterior
+    )
+    report = generalization_report(
+        channel,
+        true_risk=task.true_risk,
+        empirical_risk=lambda s, t: task.empirical_risk(t, s),
+        epsilon=1.0,
+    )
+    print("information-theoretic epilogue (exact, n=3 miniature):")
+    print(f"  I(Ẑ;θ)                   = {report['mutual_information']:.4f} nats")
+    print(f"  exact generalization gap = {report['generalization_gap']:.4f}")
+    print(f"  Xu–Raginsky bound        = {report['bound_xu_raginsky']:.4f}")
+    print(f"  privacy-chain bound      = {report['bound_privacy_chain']:.4f}")
+    assert abs(report["generalization_gap"]) <= report["bound_xu_raginsky"]
+
+
+if __name__ == "__main__":
+    main()

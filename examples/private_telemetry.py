@@ -1,0 +1,81 @@
+"""Scenario: privacy-preserving product telemetry.
+
+A product team wants two things from client telemetry without a trusted
+collector for the first and without per-query budget bleed for the
+second:
+
+* **which error codes occur how often** — clients randomize locally
+  (unary encoding, ε-LDP per report) and the server debiases the noisy
+  tallies;
+* **a live counter of daily active sessions** — the server holds the
+  stream but must publish the running total continuously; the tree
+  mechanism pays one ε for the whole timeline instead of one per day.
+
+Run:  python examples/private_telemetry.py
+"""
+
+import numpy as np
+
+from repro.experiments import ResultTable, ascii_curve
+from repro.mechanisms import TreeAggregator
+from repro.privacy import UnaryEncoding
+
+ERROR_CODES = ["E_OK", "E_TIMEOUT", "E_AUTH", "E_DISK", "E_NET", "E_OTHER"]
+TRUE_RATES = np.array([0.62, 0.14, 0.09, 0.06, 0.05, 0.04])
+N_CLIENTS = 50_000
+LOCAL_EPSILON = 2.0
+
+HORIZON = 365
+STREAM_EPSILON = 1.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # --- Local DP: error-code frequencies without a trusted collector. ---
+    reports = rng.choice(ERROR_CODES, size=N_CLIENTS, p=TRUE_RATES).tolist()
+    encoder = UnaryEncoding(ERROR_CODES, epsilon=LOCAL_EPSILON)
+    noisy_matrix = encoder.release(reports, random_state=rng)
+    estimates = encoder.estimate_frequencies(noisy_matrix)
+    stderr = np.sqrt(encoder.estimator_variance(N_CLIENTS))
+
+    print(f"error-code telemetry: {N_CLIENTS} clients, per-client "
+          f"ε = {LOCAL_EPSILON} (local DP — the server never sees a true "
+          f"report)\n")
+    table = ResultTable(
+        ["code", "true rate", "estimate", "±1.96·se"],
+        title="debiased frequencies from unary-encoded reports",
+    )
+    for code, truth, estimate in zip(ERROR_CODES, TRUE_RATES, estimates):
+        table.add_row(code, truth, float(estimate), 1.96 * stderr)
+    print(table)
+
+    # --- Continual release: running session count over a year. -----------
+    daily_sessions = rng.poisson(0.6, size=HORIZON).clip(0, 1).astype(float)
+    tree = TreeAggregator(horizon=HORIZON, epsilon=STREAM_EPSILON)
+    released = tree.release(daily_sessions, random_state=rng)
+    truth = np.cumsum(daily_sessions)
+
+    print(f"\nrunning count over {HORIZON} days, ONE total budget "
+          f"ε = {STREAM_EPSILON} (tree mechanism):")
+    print(f"  per-day noise std (theory): {tree.per_step_noise_std():.1f}")
+    print(f"  final-day truth/release   : {truth[-1]:.0f} / {released[-1]:.1f}")
+    print()
+    print(
+        ascii_curve(
+            np.arange(HORIZON)[::7],
+            released[::7],
+            title="released running count (weekly samples)",
+            x_label="day",
+            y_label="count",
+        )
+    )
+    error = np.abs(released - truth)
+    print(f"\n  mean |error| over the year: {error.mean():.1f} "
+          f"(naive per-day noising at the same ε would need "
+          f"Lap({HORIZON}/{STREAM_EPSILON}) per day ⇒ mean |error| "
+          f"≈ {HORIZON / STREAM_EPSILON:.0f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``
+    List the reproduction's experiments (E1…E12) and their bench files.
+``audit``
+    Exact privacy audit of the Gibbs estimator on a small universe.
+``tradeoff``
+    Print the privacy–information–risk frontier (Theorem 4.2) for a
+    Bernoulli instance.
+``release``
+    One differentially-private Gibbs release on freshly sampled data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import sys
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Differentially-private learning via PAC-Bayes and information "
+            "theory (reproduction of Mir, PAIS/EDBT 2012)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list the reproduction's experiments")
+
+    audit = sub.add_parser(
+        "audit", help="exact privacy audit of the Gibbs estimator"
+    )
+    audit.add_argument("--epsilon", type=float, default=1.0)
+    audit.add_argument("--n", type=int, default=3)
+    audit.add_argument("--grid-size", type=int, default=5)
+    audit.add_argument("--p", type=float, default=0.7)
+
+    tradeoff = sub.add_parser(
+        "tradeoff", help="print the Theorem 4.2 frontier"
+    )
+    tradeoff.add_argument(
+        "--epsilons",
+        type=float,
+        nargs="+",
+        default=[0.1, 0.5, 1.0, 2.0, 5.0, 20.0],
+    )
+    tradeoff.add_argument("--n", type=int, default=2)
+    tradeoff.add_argument("--grid-size", type=int, default=5)
+    tradeoff.add_argument("--p", type=float, default=0.7)
+
+    release = sub.add_parser(
+        "release", help="one ε-DP Gibbs release on sampled data"
+    )
+    release.add_argument("--epsilon", type=float, default=1.0)
+    release.add_argument("--n", type=int, default=100)
+    release.add_argument("--grid-size", type=int, default=21)
+    release.add_argument("--p", type=float, default=0.8)
+    release.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments import ResultTable
+    from repro.experiments.registry import EXPERIMENTS
+
+    table = ResultTable(["id", "claim", "bench"], title="Experiments")
+    for experiment in EXPERIMENTS:
+        table.add_row(experiment.id, experiment.claim, experiment.bench)
+    print(table)
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from repro.core import GibbsEstimator
+    from repro.learning import BernoulliTask, PredictorGrid
+    from repro.privacy import ExactPrivacyAuditor
+
+    task = BernoulliTask(p=args.p)
+    grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, args.grid_size)
+    estimator = GibbsEstimator.from_privacy(
+        grid, args.epsilon, expected_sample_size=args.n
+    )
+    report = ExactPrivacyAuditor(estimator.output_distribution).audit(
+        [0, 1], args.n, claimed_epsilon=args.epsilon
+    )
+    print(report)
+    return 0 if report.satisfied else 1
+
+
+def _cmd_tradeoff(args) -> int:
+    from repro.core import tradeoff_curve
+    from repro.experiments import ResultTable
+    from repro.learning import BernoulliTask, PredictorGrid, empirical_risk_matrix
+
+    task = BernoulliTask(p=args.p)
+    grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, args.grid_size)
+    datasets = list(itertools.product([0, 1], repeat=args.n))
+    risks = empirical_risk_matrix(
+        lambda t, z: abs(t - z), grid.thetas, [list(d) for d in datasets]
+    )
+    source = np.array(
+        [
+            np.prod([args.p if z else 1 - args.p for z in dataset])
+            for dataset in datasets
+        ]
+    )
+    points = tradeoff_curve(source, risks, args.epsilons)
+    table = ResultTable(
+        ["epsilon", "I(Z;theta) nats", "E empirical risk", "objective"],
+        title=f"Theorem 4.2 frontier, Bernoulli({args.p}), n={args.n}",
+    )
+    for point in points:
+        table.add_row(
+            point.epsilon,
+            point.mutual_information,
+            point.expected_empirical_risk,
+            point.objective,
+        )
+    print(table)
+    return 0
+
+
+def _cmd_release(args) -> int:
+    from repro.core import GibbsEstimator
+    from repro.learning import BernoulliTask, PredictorGrid
+
+    task = BernoulliTask(p=args.p)
+    sample = list(task.sample(args.n, random_state=args.seed))
+    grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, args.grid_size)
+    estimator = GibbsEstimator.from_privacy(
+        grid, args.epsilon, expected_sample_size=args.n
+    )
+    theta = estimator.release(sample, random_state=args.seed + 1)
+    print(f"released theta = {theta:.4f} under {estimator.privacy}")
+    print(f"true risk R(theta) = {task.true_risk(theta):.4f} "
+          f"(Bayes {task.bayes_risk():.4f})")
+    return 0
+
+
+_COMMANDS = {
+    "experiments": _cmd_experiments,
+    "audit": _cmd_audit,
+    "tradeoff": _cmd_tradeoff,
+    "release": _cmd_release,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

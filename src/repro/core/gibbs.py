@@ -1,0 +1,259 @@
+"""The Gibbs posterior and the Gibbs estimator.
+
+Lemma 3.2 of the paper: among all posteriors π̂ on Θ, the minimizer of the
+PAC-Bayes objective ``λ·E_π̂ R̂(θ) + KL(π̂ ‖ π)`` is the *Gibbs posterior*
+
+    dπ̂_λ(θ)  =  exp(-λ R̂_Ẑ(θ)) dπ(θ) / E_π exp(-λ R̂_Ẑ).
+
+Theorem 4.1: as a randomized learning mechanism (sample θ from π̂_λ) this
+is the exponential mechanism with quality ``q = -R̂`` and therefore
+``2·λ·Δ(R̂)``-differentially private. For a loss bounded in a width-``B``
+interval, ``Δ(R̂) = B/n``, so the guarantee is ``2λB/n`` — and conversely a
+target privacy ε calibrates the temperature to ``λ = ε·n / (2B)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.sampling import (
+    MetropolisHastingsResult,
+    MetropolisHastingsSampler,
+)
+from repro.exceptions import ValidationError
+from repro.learning.erm import PredictorGrid
+from repro.mechanisms.base import Mechanism, PrivacySpec
+from repro.mechanisms.sensitivity import empirical_risk_sensitivity
+from repro.utils.numerics import logsumexp
+from repro.utils.validation import check_positive, check_random_state
+
+
+def privacy_of_temperature(temperature: float, loss_range: float, n: int) -> float:
+    """Theorem 4.1's guarantee: ``ε = 2·λ·Δ(R̂) = 2·λ·loss_range / n``."""
+    temperature = check_positive(temperature, name="temperature")
+    return 2.0 * temperature * empirical_risk_sensitivity(loss_range, n)
+
+
+def temperature_for_privacy(epsilon: float, loss_range: float, n: int) -> float:
+    """Inverse calibration: temperature ``λ = ε·n / (2·loss_range)``."""
+    epsilon = check_positive(epsilon, name="epsilon")
+    return epsilon / (2.0 * empirical_risk_sensitivity(loss_range, n))
+
+
+class GibbsPosterior:
+    """The Gibbs posterior over a finite predictor grid.
+
+    Parameters
+    ----------
+    grid:
+        The finite predictor space with its bounded loss.
+    temperature:
+        The inverse temperature λ (the paper writes ε in the Gibbs
+        expression; we say *temperature* to keep it distinct from the
+        privacy parameter).
+    prior:
+        Prior π on the grid (uniform when omitted).
+    """
+
+    def __init__(
+        self,
+        grid: PredictorGrid,
+        temperature: float,
+        *,
+        prior: DiscreteDistribution | None = None,
+    ) -> None:
+        if not isinstance(grid, PredictorGrid):
+            raise ValidationError("grid must be a PredictorGrid")
+        self.grid = grid
+        self.temperature = check_positive(temperature, name="temperature")
+        if prior is None:
+            prior = DiscreteDistribution.uniform(grid.thetas)
+        elif prior.support != grid.thetas:
+            raise ValidationError("prior support must equal the grid (in order)")
+        self.prior = prior
+
+    def posterior(self, sample: Sequence) -> DiscreteDistribution:
+        """``π̂_λ ∝ π(θ)·exp(-λ R̂_sample(θ))`` — exact, in the log domain."""
+        risks = self.grid.empirical_risks(sample)
+        return self.prior.tilt(-self.temperature * risks)
+
+    def log_partition(self, sample: Sequence) -> float:
+        """``log E_π exp(-λ R̂)`` — the log partition function.
+
+        Its negative over λ is the *free energy*, the closed-form optimum of
+        the PAC-Bayes objective (used to cross-check Lemma 3.2 and the
+        fixed point of Theorem 4.2).
+        """
+        risks = self.grid.empirical_risks(sample)
+        return float(
+            logsumexp(self.prior.log_probabilities - self.temperature * risks)
+        )
+
+    def free_energy(self, sample: Sequence) -> float:
+        """``-(1/λ) log E_π exp(-λ R̂)`` = min over posteriors of
+        ``E_π̂ R̂ + KL(π̂‖π)/λ``."""
+        return -self.log_partition(sample) / self.temperature
+
+    def expected_empirical_risk(self, sample: Sequence) -> float:
+        """``E_{θ~π̂} R̂(θ)`` under the Gibbs posterior."""
+        risks = self.grid.empirical_risks(sample)
+        return float(risks @ self.posterior(sample).probabilities)
+
+    def privacy_epsilon(self, n: int) -> float:
+        """The Theorem 4.1 guarantee for size-``n`` samples."""
+        return privacy_of_temperature(self.temperature, self.grid.loss_range, n)
+
+    def __repr__(self) -> str:
+        return (
+            f"GibbsPosterior(grid_size={len(self.grid)}, "
+            f"temperature={self.temperature:.4g})"
+        )
+
+
+class GibbsEstimator(Mechanism):
+    """The Gibbs posterior as a differentially-private learning mechanism.
+
+    ``release(sample)`` draws one predictor from the Gibbs posterior; the
+    declared privacy guarantee follows Theorem 4.1.
+
+    Construct either with an explicit ``temperature`` (guarantee derived
+    from it and from ``expected_sample_size``) or with
+    :meth:`from_privacy` (temperature calibrated to a target ε).
+    """
+
+    def __init__(
+        self,
+        grid: PredictorGrid,
+        temperature: float,
+        expected_sample_size: int,
+        *,
+        prior: DiscreteDistribution | None = None,
+    ) -> None:
+        if expected_sample_size < 1:
+            raise ValidationError("expected_sample_size must be >= 1")
+        self.gibbs = GibbsPosterior(grid, temperature, prior=prior)
+        self.expected_sample_size = int(expected_sample_size)
+        super().__init__(
+            PrivacySpec(
+                epsilon=self.gibbs.privacy_epsilon(self.expected_sample_size)
+            )
+        )
+
+    @classmethod
+    def from_privacy(
+        cls,
+        grid: PredictorGrid,
+        epsilon: float,
+        expected_sample_size: int,
+        *,
+        prior: DiscreteDistribution | None = None,
+    ) -> "GibbsEstimator":
+        """Calibrate the temperature to achieve ε-DP on size-n samples."""
+        temperature = temperature_for_privacy(
+            epsilon, grid.loss_range, expected_sample_size
+        )
+        return cls(
+            grid, temperature, expected_sample_size, prior=prior
+        )
+
+    def output_distribution(self, sample: Sequence) -> DiscreteDistribution:
+        """Exact output law — enables exact auditing and exact utility."""
+        self._check_size(sample)
+        return self.gibbs.posterior(sample)
+
+    def release(self, sample: Sequence, random_state=None):
+        """Draw one predictor θ from the Gibbs posterior of ``sample``."""
+        rng = check_random_state(random_state)
+        return self.output_distribution(sample).sample(random_state=rng)
+
+    def _check_size(self, sample: Sequence) -> None:
+        if len(sample) != self.expected_sample_size:
+            raise ValidationError(
+                f"the privacy guarantee was calibrated for samples of size "
+                f"{self.expected_sample_size}, got {len(sample)}"
+            )
+
+    @property
+    def temperature(self) -> float:
+        return self.gibbs.temperature
+
+
+class ContinuousGibbsPosterior:
+    """Gibbs posterior over ``R^d`` sampled by Metropolis–Hastings.
+
+    For continuous parameter spaces the normalizer ``E_π exp(-λ R̂)`` is
+    intractable, but the unnormalized log-density
+
+        ``log π(θ) - λ·R̂_sample(θ)``
+
+    is cheap, which is all MH needs. Used for the private Bayesian linear /
+    logistic regression examples.
+
+    Parameters
+    ----------
+    log_prior:
+        Unnormalized log-density of the prior on ``R^d``.
+    empirical_risk:
+        ``empirical_risk(theta, sample) -> float``.
+    dimension:
+        Parameter dimension d.
+    temperature:
+        Inverse temperature λ.
+    """
+
+    def __init__(
+        self,
+        log_prior: Callable[[np.ndarray], float],
+        empirical_risk: Callable[[np.ndarray, Sequence], float],
+        dimension: int,
+        temperature: float,
+    ) -> None:
+        if dimension < 1:
+            raise ValidationError("dimension must be >= 1")
+        self.log_prior = log_prior
+        self.empirical_risk = empirical_risk
+        self.dimension = int(dimension)
+        self.temperature = check_positive(temperature, name="temperature")
+
+    def log_density(self, theta: np.ndarray, sample: Sequence) -> float:
+        """Unnormalized log posterior density at θ."""
+        return float(self.log_prior(theta)) - self.temperature * float(
+            self.empirical_risk(theta, sample)
+        )
+
+    def sample(
+        self,
+        sample: Sequence,
+        n_draws: int,
+        *,
+        step_size: float = 0.3,
+        burn_in: int = 1_000,
+        thin: int = 5,
+        initial=None,
+        random_state=None,
+    ) -> MetropolisHastingsResult:
+        """Draw ``n_draws`` (approximately independent) posterior samples."""
+        sampler = MetropolisHastingsSampler(
+            lambda theta: self.log_density(theta, sample),
+            dimension=self.dimension,
+            step_size=step_size,
+        )
+        return sampler.run(
+            n_draws,
+            burn_in=burn_in,
+            thin=thin,
+            initial=initial,
+            random_state=random_state,
+        )
+
+    def privacy_epsilon(self, loss_range: float, n: int) -> float:
+        """Theorem 4.1 guarantee, assuming the loss is bounded as declared.
+
+        Note: the guarantee only holds for the *exact* posterior; MH mixes
+        toward it, so finite chains give approximate privacy (this caveat
+        is inherited from the paper, which assumes exact sampling).
+        """
+        return privacy_of_temperature(self.temperature, loss_range, n)

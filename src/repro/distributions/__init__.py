@@ -1,0 +1,29 @@
+"""Probability-distribution substrate.
+
+Exact finite computations in the paper (Gibbs channels, mutual information,
+privacy ratios) run on :class:`DiscreteDistribution`; continuous noise laws
+back the Laplace/Gaussian/vector mechanisms; the samplers make the Gibbs
+posterior usable over continuous parameter spaces.
+"""
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.continuous import (
+    GammaNormVector,
+    GaussianNoise,
+    LaplaceNoise,
+    NoiseDistribution,
+)
+from repro.distributions.sampling import (
+    MetropolisHastingsSampler,
+    inverse_cdf_sample,
+)
+
+__all__ = [
+    "DiscreteDistribution",
+    "GammaNormVector",
+    "GaussianNoise",
+    "LaplaceNoise",
+    "NoiseDistribution",
+    "MetropolisHastingsSampler",
+    "inverse_cdf_sample",
+]

@@ -1,0 +1,261 @@
+"""A validated discrete probability distribution over an explicit support.
+
+The paper's central objects — the Gibbs posterior over a finite parameter
+grid, the prior it tilts, and the marginal ``E_Z π̂`` that makes the KL term
+collapse to mutual information — are all finite distributions. Keeping the
+support alongside the probability vector lets expectations, pushforwards and
+products stay exact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import SupportMismatchError, ValidationError
+from repro.utils.numerics import normalize_log_weights, stable_log, xlogx
+from repro.utils.validation import check_probability_vector, check_random_state
+
+
+class DiscreteDistribution:
+    """An immutable distribution over a finite ordered support.
+
+    Parameters
+    ----------
+    support:
+        Sequence of hashable outcomes. Order is preserved and significant:
+        two distributions are comparable only if their supports are equal
+        elementwise.
+    probabilities:
+        Nonnegative weights summing to one (within tolerance; they are
+        renormalized exactly on construction).
+    """
+
+    __slots__ = ("_support", "_probabilities", "_index")
+
+    def __init__(self, support: Sequence, probabilities) -> None:
+        support = list(support)
+        if not support:
+            raise ValidationError("support must not be empty")
+        probs = check_probability_vector(probabilities)
+        if len(support) != probs.shape[0]:
+            raise ValidationError(
+                f"support has {len(support)} outcomes but probabilities has "
+                f"{probs.shape[0]} entries"
+            )
+        self._support = tuple(support)
+        self._probabilities = probs
+        self._probabilities.setflags(write=False)
+        self._index = {outcome: i for i, outcome in enumerate(self._support)}
+        if len(self._index) != len(self._support):
+            raise ValidationError("support contains duplicate outcomes")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, support: Sequence) -> "DiscreteDistribution":
+        """Uniform distribution over ``support``."""
+        support = list(support)
+        if not support:
+            raise ValidationError("support must not be empty")
+        return cls(support, np.full(len(support), 1.0 / len(support)))
+
+    @classmethod
+    def point_mass(cls, support: Sequence, outcome) -> "DiscreteDistribution":
+        """Degenerate distribution putting all mass on ``outcome``."""
+        support = list(support)
+        probs = np.zeros(len(support))
+        try:
+            probs[support.index(outcome)] = 1.0
+        except ValueError:
+            raise ValidationError(f"{outcome!r} is not in the support") from None
+        return cls(support, probs)
+
+    @classmethod
+    def from_log_weights(cls, support: Sequence, log_weights) -> "DiscreteDistribution":
+        """Normalize unnormalized log-weights into a distribution.
+
+        This is the numerically-safe constructor used by the Gibbs posterior:
+        ``exp(-ε R̂(θ))`` can underflow for large ε, but its log never does.
+        """
+        return cls(support, normalize_log_weights(log_weights))
+
+    @classmethod
+    def from_counts(cls, support: Sequence, counts) -> "DiscreteDistribution":
+        """Empirical distribution from nonnegative counts."""
+        arr = np.asarray(counts, dtype=float)
+        if np.any(arr < 0):
+            raise ValidationError("counts must be nonnegative")
+        total = arr.sum()
+        if total <= 0:
+            raise ValidationError("counts must not all be zero")
+        return cls(support, arr / total)
+
+    @classmethod
+    def from_samples(cls, samples: Iterable) -> "DiscreteDistribution":
+        """Empirical distribution of an iterable of hashable samples."""
+        counts: dict = {}
+        for sample in samples:
+            counts[sample] = counts.get(sample, 0) + 1
+        if not counts:
+            raise ValidationError("samples must not be empty")
+        support = list(counts)
+        return cls.from_counts(support, [counts[s] for s in support])
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def support(self) -> tuple:
+        """The ordered outcomes."""
+        return self._support
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Read-only probability vector aligned with :attr:`support`."""
+        return self._probabilities
+
+    @property
+    def log_probabilities(self) -> np.ndarray:
+        """Elementwise log-probabilities (``-inf`` on zero-mass atoms)."""
+        return stable_log(self._probabilities)
+
+    def __len__(self) -> int:
+        return len(self._support)
+
+    def __iter__(self):
+        return zip(self._support, self._probabilities)
+
+    def probability_of(self, outcome) -> float:
+        """Probability of a single outcome (0.0 if outside the support)."""
+        idx = self._index.get(outcome)
+        if idx is None:
+            return 0.0
+        return float(self._probabilities[idx])
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{o!r}: {p:.4g}" for o, p in list(self)[:6]
+        )
+        suffix = ", ..." if len(self) > 6 else ""
+        return f"DiscreteDistribution({{{pairs}{suffix}}})"
+
+    def same_support(self, other: "DiscreteDistribution") -> bool:
+        """Whether ``other`` has an identical (ordered) support."""
+        return isinstance(other, DiscreteDistribution) and self._support == other._support
+
+    def require_same_support(self, other: "DiscreteDistribution") -> None:
+        """Raise :class:`SupportMismatchError` unless supports match."""
+        if not self.same_support(other):
+            raise SupportMismatchError(
+                "operation requires distributions on the same ordered support"
+            )
+
+    # ------------------------------------------------------------------
+    # Probability operations
+    # ------------------------------------------------------------------
+    def expectation(self, fn: Callable | None = None) -> float:
+        """Expectation of ``fn(outcome)`` (identity if ``fn`` is None)."""
+        if fn is None:
+            values = np.asarray(self._support, dtype=float)
+        else:
+            values = np.asarray([fn(o) for o in self._support], dtype=float)
+        return float(values @ self._probabilities)
+
+    def variance(self, fn: Callable | None = None) -> float:
+        """Variance of ``fn(outcome)`` under this distribution."""
+        if fn is None:
+            values = np.asarray(self._support, dtype=float)
+        else:
+            values = np.asarray([fn(o) for o in self._support], dtype=float)
+        mean = float(values @ self._probabilities)
+        return float(((values - mean) ** 2) @ self._probabilities)
+
+    def entropy(self) -> float:
+        """Shannon entropy in nats."""
+        return float(-xlogx(self._probabilities).sum())
+
+    def mode(self):
+        """An outcome of maximal probability (ties broken by support order)."""
+        return self._support[int(np.argmax(self._probabilities))]
+
+    def map(self, fn: Callable) -> "DiscreteDistribution":
+        """Pushforward of this distribution under ``fn`` (merging collisions)."""
+        masses: dict = {}
+        order: list = []
+        for outcome, prob in self:
+            image = fn(outcome)
+            if image not in masses:
+                masses[image] = 0.0
+                order.append(image)
+            masses[image] += prob
+        return DiscreteDistribution(order, [masses[o] for o in order])
+
+    def condition(self, predicate: Callable) -> "DiscreteDistribution":
+        """Conditional distribution given ``predicate(outcome)`` is true."""
+        kept = [(o, p) for o, p in self if predicate(o)]
+        if not kept:
+            raise ValidationError("conditioning event has probability zero")
+        total = sum(p for _, p in kept)
+        if total <= 0:
+            raise ValidationError("conditioning event has probability zero")
+        return DiscreteDistribution(
+            [o for o, _ in kept], [p / total for _, p in kept]
+        )
+
+    def product(self, other: "DiscreteDistribution") -> "DiscreteDistribution":
+        """Independent product; outcomes become ``(a, b)`` pairs."""
+        support = [(a, b) for a in self._support for b in other._support]
+        probs = np.outer(self._probabilities, other._probabilities).ravel()
+        return DiscreteDistribution(support, probs)
+
+    def power(self, n: int) -> "DiscreteDistribution":
+        """``n``-fold independent product; outcomes are length-``n`` tuples.
+
+        This is the distribution of an i.i.d. sample ``Ẑ = (Z₁,…,Zₙ)``, the
+        channel input of the paper's Figure 1.
+        """
+        if n < 1:
+            raise ValidationError("power requires n >= 1")
+        dist = DiscreteDistribution([(o,) for o in self._support], self._probabilities)
+        for _ in range(n - 1):
+            pairs = dist.product(self)
+            dist = pairs.map(lambda pair: pair[0] + (pair[1],))
+        return dist
+
+    def mix(self, other: "DiscreteDistribution", weight: float) -> "DiscreteDistribution":
+        """Convex mixture ``weight*self + (1-weight)*other`` (same support)."""
+        self.require_same_support(other)
+        if not 0.0 <= weight <= 1.0:
+            raise ValidationError("mixture weight must lie in [0, 1]")
+        return DiscreteDistribution(
+            self._support,
+            weight * self._probabilities + (1.0 - weight) * other._probabilities,
+        )
+
+    def tilt(self, log_factors) -> "DiscreteDistribution":
+        """Exponential tilting: reweight atom ``i`` by ``exp(log_factors[i])``.
+
+        The Gibbs posterior is exactly ``prior.tilt(-ε * empirical_risks)``.
+        """
+        log_factors = np.asarray(log_factors, dtype=float)
+        if log_factors.shape != self._probabilities.shape:
+            raise ValidationError("log_factors must match the support size")
+        return DiscreteDistribution.from_log_weights(
+            self._support, self.log_probabilities + log_factors
+        )
+
+    def total_variation_distance(self, other: "DiscreteDistribution") -> float:
+        """Total variation distance to ``other`` on the same support."""
+        self.require_same_support(other)
+        return float(0.5 * np.abs(self._probabilities - other._probabilities).sum())
+
+    def sample(self, size: int | None = None, random_state=None):
+        """Draw outcomes i.i.d. from this distribution."""
+        rng = check_random_state(random_state)
+        indices = rng.choice(len(self._support), size=size, p=self._probabilities)
+        if size is None:
+            return self._support[int(indices)]
+        return [self._support[int(i)] for i in np.atleast_1d(indices)]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` from bad call
+signatures, etc.) propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, shape, or content)."""
+
+
+class NotNormalizedError(ValidationError):
+    """A probability vector does not sum to one within tolerance."""
+
+
+class PrivacyBudgetError(ReproError):
+    """A privacy accountant was asked to exceed its remaining budget."""
+
+
+class SensitivityError(ReproError):
+    """A sensitivity value is missing, non-finite, or inconsistent."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class SupportMismatchError(ValidationError):
+    """Two distributions that must share a support do not."""
+
+
+class NotFittedError(ReproError):
+    """A model or estimator was used before being fitted."""

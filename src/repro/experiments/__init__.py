@@ -1,0 +1,17 @@
+"""Experiment harness: parameter sweeps, result tables, ASCII curves.
+
+The benchmarks in ``benchmarks/`` use these helpers to print the
+rows/series each experiment reports (EXPERIMENTS.md records the outputs).
+"""
+
+from repro.experiments.tables import ResultTable
+from repro.experiments.plotting import ascii_curve
+from repro.experiments.runner import ExperimentResult, run_experiment, sweep
+
+__all__ = [
+    "ExperimentResult",
+    "ResultTable",
+    "ascii_curve",
+    "run_experiment",
+    "sweep",
+]

@@ -1,0 +1,52 @@
+"""Minimal ASCII plotting for benchmark output (no plotting dependencies)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def ascii_curve(
+    x_values,
+    y_values,
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render (x, y) points as a monospace scatter/curve.
+
+    Points are mapped into a width×height character grid; duplicate cells
+    collapse. Good enough to eyeball the monotone shapes the experiments
+    assert (risk falling in ε, mutual information rising in ε).
+    """
+    x = np.asarray(x_values, dtype=float)
+    y = np.asarray(y_values, dtype=float)
+    if x.shape != y.shape or x.ndim != 1 or x.size == 0:
+        raise ValidationError("x and y must be equal-length nonempty 1-D arrays")
+    if width < 10 or height < 4:
+        raise ValidationError("width must be >= 10 and height >= 4")
+
+    x_lo, x_hi = float(x.min()), float(x.max())
+    y_lo, y_hi = float(y.min()), float(y.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        col = int(round((xi - x_lo) / x_span * (width - 1)))
+        row = int(round((yi - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} [{y_lo:.4g} .. {y_hi:.4g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label} [{x_lo:.4g} .. {x_hi:.4g}]")
+    return "\n".join(lines)

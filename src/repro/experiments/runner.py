@@ -1,0 +1,72 @@
+"""Lightweight experiment runner with parameter sweeps."""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment configuration and its measured outputs."""
+
+    name: str
+    parameters: dict
+    outputs: dict
+    seconds: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+        outputs = ", ".join(f"{k}={v}" for k, v in self.outputs.items())
+        return f"{self.name}({params}) -> {outputs} [{self.seconds:.3f}s]"
+
+
+def run_experiment(
+    name: str, fn: Callable[..., Mapping], **parameters
+) -> ExperimentResult:
+    """Run ``fn(**parameters)`` and wrap its dict result with timing."""
+    start = time.perf_counter()
+    outputs = fn(**parameters)
+    elapsed = time.perf_counter() - start
+    if not isinstance(outputs, Mapping):
+        raise ValidationError("experiment functions must return a mapping")
+    return ExperimentResult(
+        name=name,
+        parameters=dict(parameters),
+        outputs=dict(outputs),
+        seconds=elapsed,
+    )
+
+
+def sweep(
+    name: str,
+    fn: Callable[..., Mapping],
+    grid: Mapping[str, Sequence],
+    **fixed,
+) -> list[ExperimentResult]:
+    """Run ``fn`` over the Cartesian product of ``grid`` values.
+
+    Parameters
+    ----------
+    grid:
+        Mapping from parameter name to the values to sweep.
+    fixed:
+        Parameters held constant across the sweep.
+    """
+    if not grid:
+        raise ValidationError("grid must not be empty")
+    names = list(grid)
+    results = []
+    for combo in itertools.product(*(grid[k] for k in names)):
+        parameters = dict(zip(names, combo))
+        overlap = set(parameters) & set(fixed)
+        if overlap:
+            raise ValidationError(f"parameters swept and fixed: {sorted(overlap)}")
+        parameters.update(fixed)
+        results.append(run_experiment(name, fn, **parameters))
+    return results

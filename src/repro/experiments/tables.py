@@ -1,0 +1,81 @@
+"""Plain-text result tables for the benchmark harness."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import ValidationError
+
+
+class ResultTable:
+    """A fixed-schema table of experiment rows, rendered as aligned text.
+
+    Parameters
+    ----------
+    columns:
+        Ordered column names.
+    title:
+        Optional heading printed above the table.
+    """
+
+    def __init__(self, columns: Sequence[str], *, title: str = "") -> None:
+        self.columns = [str(c) for c in columns]
+        if not self.columns:
+            raise ValidationError("columns must not be empty")
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values, **named) -> None:
+        """Append a row, positionally or by column name."""
+        if values and named:
+            raise ValidationError("pass values positionally or by name, not both")
+        if named:
+            missing = [c for c in self.columns if c not in named]
+            if missing:
+                raise ValidationError(f"missing columns: {missing}")
+            values = tuple(named[c] for c in self.columns)
+        if len(values) != len(self.columns):
+            raise ValidationError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([self._format(v) for v in values])
+
+    @staticmethod
+    def _format(value) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            magnitude = abs(value)
+            if magnitude >= 1e4 or magnitude < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:.4f}"
+        return str(value)
+
+    def render(self) -> str:
+        """The table as aligned monospace text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def column(self, name: str) -> list[str]:
+        """All formatted cells of one column, in row order."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise ValidationError(f"no column named {name!r}") from None
+        return [row[index] for row in self.rows]

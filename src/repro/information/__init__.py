@@ -1,0 +1,90 @@
+"""Information-theoretic substrate.
+
+Implements everything Section 4 of the paper leans on: entropies,
+Kullback-Leibler (and related) divergences, mutual information — exactly on
+finite supports and estimated from samples — discrete channels (the paper's
+Figure 1), and the Blahut–Arimoto algorithms whose rate–distortion variant
+is the computational face of Theorem 4.2.
+"""
+
+from repro.information.entropy import (
+    binary_entropy,
+    conditional_entropy,
+    cross_entropy,
+    entropy,
+    joint_entropy,
+)
+from repro.information.divergences import (
+    binary_kl,
+    binary_kl_inverse,
+    hockey_stick_divergence,
+    jensen_shannon_divergence,
+    kl_divergence,
+    max_divergence,
+    renyi_divergence,
+    total_variation,
+)
+from repro.information.mutual_information import (
+    mutual_information_from_joint,
+    mutual_information_histogram,
+    mutual_information_ksg,
+)
+from repro.information.channel import DiscreteChannel
+from repro.information.blahut_arimoto import (
+    BlahutArimotoResult,
+    channel_capacity,
+    rate_distortion,
+)
+from repro.information.fano import (
+    bayes_identification_error,
+    dp_identification_lower_bound,
+    fano_error_lower_bound,
+    verify_fano,
+)
+from repro.information.leakage import (
+    alvim_min_entropy_bound,
+    leakage_bound_report,
+    mi_bound_capacity,
+    mi_bound_group_privacy,
+    mi_bound_source_entropy,
+    min_entropy_leakage,
+    multiplicative_leakage_capacity,
+    posterior_vulnerability,
+    vulnerability,
+)
+
+__all__ = [
+    "alvim_min_entropy_bound",
+    "bayes_identification_error",
+    "dp_identification_lower_bound",
+    "fano_error_lower_bound",
+    "verify_fano",
+    "leakage_bound_report",
+    "mi_bound_capacity",
+    "mi_bound_group_privacy",
+    "mi_bound_source_entropy",
+    "min_entropy_leakage",
+    "multiplicative_leakage_capacity",
+    "posterior_vulnerability",
+    "vulnerability",
+    "BlahutArimotoResult",
+    "DiscreteChannel",
+    "binary_entropy",
+    "binary_kl",
+    "binary_kl_inverse",
+    "channel_capacity",
+    "conditional_entropy",
+    "cross_entropy",
+    "entropy",
+    "hockey_stick_divergence",
+    "jensen_shannon_divergence",
+    "joint_entropy",
+    "kl_divergence",
+    "max_divergence",
+    "mutual_information_from_joint",
+    "mutual_information_histogram",
+    "mutual_information_ksg",
+    "rate_distortion",
+    "renyi_divergence",
+    "total_variation",
+]

@@ -1,0 +1,182 @@
+"""Divergences between finite distributions.
+
+The paper uses the Kullback–Leibler divergence (in PAC-Bayes bounds and in
+the mutual-information decomposition ``E_Z KL(π̂‖π) = I(Z;θ) + KL(E_Z π̂‖π)``)
+and, implicitly through the DP definition, the *max divergence*
+``D_∞(P‖Q) = max_S log P(S)/Q(S)`` — a mechanism is ε-DP iff the max
+divergence between its output laws on any neighbouring inputs is ≤ ε.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.exceptions import ValidationError
+from repro.utils.numerics import stable_log, xlogy
+from repro.utils.validation import check_in_range, check_positive, check_probability_vector
+
+
+def _pair(p_dist, q_dist) -> tuple[np.ndarray, np.ndarray]:
+    if isinstance(p_dist, DiscreteDistribution) and isinstance(
+        q_dist, DiscreteDistribution
+    ):
+        p_dist.require_same_support(q_dist)
+        return p_dist.probabilities, q_dist.probabilities
+    p = check_probability_vector(p_dist, name="p")
+    q = check_probability_vector(q_dist, name="q")
+    if p.shape != q.shape:
+        raise ValidationError("p and q must have the same length")
+    return p, q
+
+
+def kl_divergence(p_dist, q_dist) -> float:
+    """``KL(p ‖ q) = Σ p log(p/q)`` in nats; ``inf`` if p ⋪ q."""
+    p, q = _pair(p_dist, q_dist)
+    mask = p > 0
+    if np.any(q[mask] == 0):
+        return float("inf")
+    return float((p[mask] * (np.log(p[mask]) - np.log(q[mask]))).sum())
+
+
+def binary_kl(p: float, q: float) -> float:
+    """KL divergence between Bernoulli(p) and Bernoulli(q), ``kl(p‖q)``."""
+    p = check_in_range(p, name="p", low=0.0, high=1.0)
+    q = check_in_range(q, name="q", low=0.0, high=1.0)
+    return kl_divergence(np.array([p, 1 - p]), np.array([q, 1 - q]))
+
+
+def binary_kl_inverse(p: float, budget: float, *, tol: float = 1e-12) -> float:
+    """Largest ``q ≥ p`` with ``kl(p ‖ q) ≤ budget`` (Seeger bound inversion).
+
+    Solved by bisection; ``kl(p‖·)`` is increasing on ``[p, 1]``.
+    """
+    p = check_in_range(p, name="p", low=0.0, high=1.0)
+    budget = check_positive(budget, name="budget", strict=False)
+    if budget == 0:
+        return p
+    lo, hi = p, 1.0
+    if binary_kl(p, 1.0) <= budget:
+        return 1.0
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if binary_kl(p, mid) <= budget:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def total_variation(p_dist, q_dist) -> float:
+    """Total variation distance ``½ Σ |p - q|``."""
+    p, q = _pair(p_dist, q_dist)
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def jensen_shannon_divergence(p_dist, q_dist) -> float:
+    """Jensen–Shannon divergence (symmetric, bounded by ``log 2``)."""
+    p, q = _pair(p_dist, q_dist)
+    mixture = 0.5 * (p + q)
+    return 0.5 * kl_divergence(p, mixture) + 0.5 * kl_divergence(q, mixture)
+
+
+def renyi_divergence(p_dist, q_dist, alpha: float) -> float:
+    """Rényi divergence of order ``alpha`` (limits: α→1 gives KL, α→∞ max)."""
+    p, q = _pair(p_dist, q_dist)
+    alpha = float(alpha)
+    if np.isinf(alpha) and alpha > 0:
+        return max_divergence(p, q)
+    alpha = check_positive(alpha, name="alpha")
+    if np.isclose(alpha, 1.0):
+        return kl_divergence(p, q)
+    mask = p > 0
+    if np.any(q[mask] == 0):
+        return float("inf")
+    log_terms = alpha * np.log(p[mask]) + (1.0 - alpha) * np.log(q[mask])
+    peak = log_terms.max()
+    total = np.exp(log_terms - peak).sum()
+    return float((peak + np.log(total)) / (alpha - 1.0))
+
+
+def max_divergence(p_dist, q_dist) -> float:
+    """Max divergence ``D_∞(p‖q) = max_i log(p_i / q_i)`` over atoms p_i > 0.
+
+    For discrete mechanisms this equals ``max_S log P(S)/Q(S)`` over all
+    events S, so a mechanism is ε-DP iff max divergence ≤ ε for every
+    neighbouring input pair — this is the quantity the exact privacy
+    auditor computes.
+    """
+    p, q = _pair(p_dist, q_dist)
+    mask = p > 0
+    if np.any(q[mask] == 0):
+        return float("inf")
+    return float(np.max(np.log(p[mask]) - np.log(q[mask])))
+
+
+def hockey_stick_divergence(p_dist, q_dist, epsilon: float) -> float:
+    """Hockey-stick divergence ``max(0, Σ (p - e^ε q)_+)``.
+
+    A mechanism satisfies (ε, δ)-DP on a neighbouring pair iff the
+    hockey-stick divergence between the output laws is ≤ δ in both
+    directions.
+    """
+    p, q = _pair(p_dist, q_dist)
+    epsilon = check_positive(epsilon, name="epsilon", strict=False)
+    return float(np.clip(p - np.exp(epsilon) * q, 0.0, None).sum())
+
+
+def kl_decomposition(posteriors, weights, prior) -> dict:
+    """Decompose ``E_Z KL(π̂_Z ‖ π)`` as ``I(Z;θ) + KL(E_Z π̂ ‖ π)``.
+
+    This is the identity the paper quotes from Catoni (Section 4): the
+    expected KL of sample-dependent posteriors to a fixed prior splits into
+    the mutual information between sample and parameter plus the divergence
+    of the marginal posterior from the prior. The additive second term
+    vanishes iff the prior equals the marginal ``E_Z π̂`` — the
+    "bound-optimal prior".
+
+    Parameters
+    ----------
+    posteriors:
+        Sequence of :class:`DiscreteDistribution` over the parameter space,
+        one per sample value ``z`` (all on the same support).
+    weights:
+        Probability of each sample value (the data-generating law on Z).
+    prior:
+        Fixed prior :class:`DiscreteDistribution` on the same support.
+
+    Returns
+    -------
+    dict with keys ``expected_kl``, ``mutual_information``,
+    ``marginal_kl`` and ``marginal`` satisfying
+    ``expected_kl = mutual_information + marginal_kl`` exactly.
+    """
+    weights = check_probability_vector(weights, name="weights")
+    if len(posteriors) != weights.shape[0]:
+        raise ValidationError("need one posterior per weight")
+    for post in posteriors:
+        prior.require_same_support(post)
+
+    stacked = np.stack([post.probabilities for post in posteriors])
+    marginal_probs = weights @ stacked
+    marginal = DiscreteDistribution(prior.support, marginal_probs)
+
+    expected_kl = float(
+        sum(
+            w * kl_divergence(post, prior)
+            for w, post in zip(weights, posteriors)
+        )
+    )
+    mutual_information = float(
+        sum(
+            w * kl_divergence(post, marginal)
+            for w, post in zip(weights, posteriors)
+        )
+    )
+    marginal_kl = kl_divergence(marginal, prior)
+    return {
+        "expected_kl": expected_kl,
+        "mutual_information": mutual_information,
+        "marginal_kl": marginal_kl,
+        "marginal": marginal,
+    }

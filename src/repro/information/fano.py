@@ -1,0 +1,98 @@
+"""Fano-type lower bounds — the "lower bounds" half of the paper's §5.
+
+The paper proposes examining "upper and lower bounds on the mutual
+information between the sample and the predictor and their implication on
+the utility". E9 covered the upper bounds; this module supplies the lower
+side: Fano's inequality converts a *cap* on mutual information (such as
+the DP group-privacy cap I ≤ n·ε) into a *floor* on identification error,
+
+    P(error)  ≥  1 - (I(θ; data) + log 2) / log k
+
+for θ uniform over k hypotheses. Chained with I ≤ n·ε this yields a
+minimax lower bound that NO ε-DP learner can beat — the fundamental
+privacy price, checkable exactly against the Gibbs estimator on finite
+instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.exceptions import ValidationError
+from repro.information.channel import DiscreteChannel
+from repro.information.mutual_information import mutual_information_from_joint
+from repro.utils.validation import check_positive
+
+
+def fano_error_lower_bound(mutual_information: float, k: int) -> float:
+    """Fano: any decoder of a uniform k-ary hypothesis errs with
+    probability at least ``1 - (I + log 2)/log k`` (clipped at 0)."""
+    mutual_information = check_positive(
+        mutual_information, name="mutual_information", strict=False
+    )
+    if k < 2:
+        raise ValidationError("Fano needs k >= 2 hypotheses")
+    return float(
+        max(0.0, 1.0 - (mutual_information + np.log(2.0)) / np.log(k))
+    )
+
+
+def dp_identification_lower_bound(epsilon: float, n: int, k: int) -> float:
+    """No ε-DP mechanism on n records identifies a uniform k-ary secret
+    with error below ``1 - (n·ε + log 2)/log k``.
+
+    Chain: ε-DP ⇒ I(secret; output) ≤ n·ε (group privacy over the ≤ n
+    record substitutions separating any two datasets) ⇒ Fano.
+    """
+    epsilon = check_positive(epsilon, name="epsilon")
+    if n < 1:
+        raise ValidationError("n must be >= 1")
+    if k < 2:
+        raise ValidationError("k must be >= 2")
+    return fano_error_lower_bound(n * epsilon, k)
+
+
+def bayes_identification_error(
+    channel: DiscreteChannel, prior: DiscreteDistribution
+) -> float:
+    """Exact minimal identification error of the channel input.
+
+    The Bayes decoder picks ``argmax_x P(x|y)``; its error is
+    ``1 - Σ_y max_x P(x, y)`` — one minus the posterior vulnerability.
+    """
+    if prior.support != channel.input_alphabet:
+        raise ValidationError(
+            "prior support must equal the channel input alphabet"
+        )
+    joint = prior.probabilities[:, None] * channel.matrix
+    return float(1.0 - joint.max(axis=0).sum())
+
+
+def verify_fano(
+    channel: DiscreteChannel, prior: DiscreteDistribution
+) -> dict:
+    """Measured Bayes error vs the Fano floor for one channel + prior.
+
+    Returns the exact error, the channel mutual information, the Fano
+    bound (computed with H(prior) replacing log k when the prior is not
+    uniform, which keeps the bound valid), and whether it holds.
+    """
+    if prior.support != channel.input_alphabet:
+        raise ValidationError(
+            "prior support must equal the channel input alphabet"
+        )
+    joint = prior.probabilities[:, None] * channel.matrix
+    information = mutual_information_from_joint(joint)
+    error = bayes_identification_error(channel, prior)
+    entropy = prior.entropy()
+    if entropy <= np.log(2.0):
+        bound = 0.0  # Fano is vacuous below one bit of prior uncertainty
+    else:
+        bound = max(0.0, 1.0 - (information + np.log(2.0)) / entropy)
+    return {
+        "bayes_error": error,
+        "mutual_information": information,
+        "fano_bound": bound,
+        "holds": error >= bound - 1e-12,
+    }

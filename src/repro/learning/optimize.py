@@ -1,0 +1,152 @@
+"""Deterministic smooth optimizers for the ERM objectives.
+
+Private ERM needs the *exact* minimizer of a strongly-convex objective (its
+sensitivity analysis assumes one), so both solvers run to small gradient
+norms: gradient descent with backtracking line search as the workhorse, and
+a damped Newton method for the twice-differentiable losses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class OptimizeResult:
+    """Solution and diagnostics of an optimization run."""
+
+    x: np.ndarray
+    value: float
+    gradient_norm: float
+    iterations: int
+    converged: bool
+
+
+def gradient_descent(
+    objective: Callable[[np.ndarray], float],
+    gradient: Callable[[np.ndarray], np.ndarray],
+    x0,
+    *,
+    tol: float = 1e-8,
+    max_iterations: int = 5_000,
+    initial_step: float = 1.0,
+    backtrack: float = 0.5,
+    armijo: float = 1e-4,
+    raise_on_failure: bool = False,
+) -> OptimizeResult:
+    """Minimize a smooth convex function by backtracking gradient descent.
+
+    Stops when ``‖∇f‖ ≤ tol``. The Armijo backtracking line search makes
+    the iteration monotone without a known Lipschitz constant.
+    """
+    x = np.asarray(x0, dtype=float).copy()
+    if x.ndim != 1:
+        raise ValidationError("x0 must be a 1-D vector")
+    tol = check_positive(tol, name="tol")
+
+    value = float(objective(x))
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        grad = np.asarray(gradient(x), dtype=float)
+        grad_norm = float(np.linalg.norm(grad))
+        if grad_norm <= tol:
+            converged = True
+            break
+        step = initial_step
+        descent = grad @ grad
+        while step > 1e-16:
+            candidate = x - step * grad
+            candidate_value = float(objective(candidate))
+            if candidate_value <= value - armijo * step * descent:
+                break
+            step *= backtrack
+        else:
+            # Line search exhausted: we are at numerical stationarity.
+            converged = grad_norm <= 10 * tol
+            break
+        x = candidate
+        value = candidate_value
+
+    grad_norm = float(np.linalg.norm(np.asarray(gradient(x), dtype=float)))
+    if not converged and grad_norm <= tol:
+        converged = True
+    if not converged and raise_on_failure:
+        raise ConvergenceError(
+            f"gradient descent stalled at ‖∇f‖={grad_norm:.3g} "
+            f"after {iterations} iterations"
+        )
+    return OptimizeResult(
+        x=x,
+        value=float(objective(x)),
+        gradient_norm=grad_norm,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def newton_method(
+    objective: Callable[[np.ndarray], float],
+    gradient: Callable[[np.ndarray], np.ndarray],
+    hessian: Callable[[np.ndarray], np.ndarray],
+    x0,
+    *,
+    tol: float = 1e-10,
+    max_iterations: int = 100,
+    raise_on_failure: bool = False,
+) -> OptimizeResult:
+    """Damped Newton's method for strongly-convex twice-smooth objectives.
+
+    Backtracks the Newton step until the objective decreases; quadratic
+    local convergence makes a 100-iteration budget generous.
+    """
+    x = np.asarray(x0, dtype=float).copy()
+    if x.ndim != 1:
+        raise ValidationError("x0 must be a 1-D vector")
+    tol = check_positive(tol, name="tol")
+
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        grad = np.asarray(gradient(x), dtype=float)
+        grad_norm = float(np.linalg.norm(grad))
+        if grad_norm <= tol:
+            converged = True
+            break
+        hess = np.asarray(hessian(x), dtype=float)
+        try:
+            direction = np.linalg.solve(hess, grad)
+        except np.linalg.LinAlgError:
+            direction = grad  # fall back to a gradient step
+        step = 1.0
+        value = float(objective(x))
+        while step > 1e-16:
+            candidate = x - step * direction
+            if float(objective(candidate)) < value:
+                break
+            step *= 0.5
+        else:
+            break
+        x = candidate
+
+    grad_norm = float(np.linalg.norm(np.asarray(gradient(x), dtype=float)))
+    if not converged and grad_norm <= tol:
+        converged = True
+    if not converged and raise_on_failure:
+        raise ConvergenceError(
+            f"Newton's method stalled at ‖∇f‖={grad_norm:.3g} "
+            f"after {iterations} iterations"
+        )
+    return OptimizeResult(
+        x=x,
+        value=float(objective(x)),
+        gradient_norm=grad_norm,
+        iterations=iterations,
+        converged=converged,
+    )

@@ -1,0 +1,107 @@
+"""Feature preprocessing for private learning.
+
+The Chaudhuri-style private ERM algorithms and the regression mechanisms
+assume ``‖x‖₂ ≤ 1`` and bounded targets. These helpers make arbitrary
+data satisfy those contracts — with the caveat, enforced by design, that
+any data-dependent scaling must itself be computed privately or on public
+information. The transformers here are *fit on public parameters only*
+(explicit bounds), so applying them costs no privacy.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.learning.preprocessing import clip_to_unit_ball
+>>> x = np.array([[3.0, 4.0], [0.3, 0.4]])
+>>> clipped = clip_to_unit_ball(x)
+>>> np.round(np.linalg.norm(clipped, axis=1), 6).tolist()
+[1.0, 0.5]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_array, check_positive
+
+
+def clip_to_unit_ball(x, *, radius: float = 1.0) -> np.ndarray:
+    """Scale rows with ``‖x‖ > radius`` down onto the radius sphere.
+
+    Rows already inside the ball are untouched; the transform is
+    record-wise (each row depends only on itself), so it composes with
+    any DP mechanism downstream without affecting the privacy analysis.
+    """
+    radius = check_positive(radius, name="radius")
+    x = check_array(x, name="x", ndim=2)
+    norms = np.linalg.norm(x, axis=1, keepdims=True)
+    scale = np.minimum(1.0, radius / np.maximum(norms, 1e-300))
+    return x * scale
+
+
+def clip_values(values, lower: float, upper: float) -> np.ndarray:
+    """Clip scalars into a public interval (record-wise, privacy-free)."""
+    if not lower < upper:
+        raise ValidationError("need lower < upper")
+    arr = np.asarray(values, dtype=float)
+    return np.clip(arr, lower, upper)
+
+
+class PublicScaler:
+    """Affine feature scaling from *public* per-column bounds.
+
+    Maps column j from ``[lower_j, upper_j]`` to ``[-1, 1]`` (values
+    outside the declared bounds are clipped first). Because the bounds are
+    public constants rather than data statistics, the transform is
+    privacy-free; to then guarantee ``‖x‖ ≤ 1`` over d columns, follow
+    with :func:`clip_to_unit_ball` or divide by √d.
+
+    Example
+    -------
+    >>> scaler = PublicScaler(lower=[0.0, 10.0], upper=[1.0, 20.0])
+    >>> scaler.transform([[0.5, 15.0]]).tolist()
+    [[0.0, 0.0]]
+    """
+
+    def __init__(self, lower, upper) -> None:
+        self.lower = np.asarray(lower, dtype=float)
+        self.upper = np.asarray(upper, dtype=float)
+        if self.lower.shape != self.upper.shape or self.lower.ndim != 1:
+            raise ValidationError("lower and upper must be matching 1-D vectors")
+        if np.any(self.lower >= self.upper):
+            raise ValidationError("need lower < upper per column")
+
+    @property
+    def dimension(self) -> int:
+        """Number of columns the scaler expects."""
+        return self.lower.shape[0]
+
+    def transform(self, x) -> np.ndarray:
+        """Clip to the public bounds, then map affinely onto [-1, 1]^d."""
+        x = check_array(x, name="x", ndim=2)
+        if x.shape[1] != self.dimension:
+            raise ValidationError(
+                f"expected {self.dimension} columns, got {x.shape[1]}"
+            )
+        clipped = np.clip(x, self.lower[None, :], self.upper[None, :])
+        halfspan = (self.upper - self.lower) / 2.0
+        center = (self.upper + self.lower) / 2.0
+        return (clipped - center[None, :]) / halfspan[None, :]
+
+    def transform_to_unit_ball(self, x) -> np.ndarray:
+        """Scale into [-1,1]^d then divide by √d, guaranteeing ‖x‖₂ ≤ 1."""
+        return self.transform(x) / np.sqrt(self.dimension)
+
+
+def symmetrize_labels(y) -> np.ndarray:
+    """Map {0, 1} (or already {-1, +1}) labels onto {-1, +1}.
+
+    The linear classifiers in :mod:`repro.learning.models` and the private
+    learners all use the symmetric convention.
+    """
+    arr = np.asarray(y)
+    if np.isin(arr, (-1, 1)).all():
+        return arr.astype(int)
+    if np.isin(arr, (0, 1)).all():
+        return np.where(arr == 1, 1, -1)
+    raise ValidationError("labels must be in {0, 1} or {-1, +1}")

@@ -1,0 +1,89 @@
+"""A simple privacy-budget accountant.
+
+Tracks cumulative (ε, δ) spend under basic composition and refuses releases
+that would exceed the configured budget — the bookkeeping a deployment of
+the paper's Gibbs estimator would need when answering repeated learning
+queries against one dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import PrivacyBudgetError, ValidationError
+from repro.mechanisms.base import Mechanism, PrivacySpec
+
+
+@dataclass
+class LedgerEntry:
+    """One recorded privacy expenditure."""
+
+    label: str
+    spec: PrivacySpec
+
+
+@dataclass
+class PrivacyAccountant:
+    """Budgeted tracker of privacy expenditures (basic composition).
+
+    Parameters
+    ----------
+    budget:
+        Total (ε, δ) the data owner is willing to spend.
+    """
+
+    budget: PrivacySpec
+    _ledger: list[LedgerEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.budget, PrivacySpec):
+            raise ValidationError("budget must be a PrivacySpec")
+
+    @property
+    def spent(self) -> PrivacySpec | None:
+        """Total spend so far (None when nothing is recorded)."""
+        if not self._ledger:
+            return None
+        total = self._ledger[0].spec
+        for entry in self._ledger[1:]:
+            total = total.compose(entry.spec)
+        return total
+
+    @property
+    def remaining_epsilon(self) -> float:
+        spent = self.spent
+        return self.budget.epsilon - (spent.epsilon if spent else 0.0)
+
+    @property
+    def remaining_delta(self) -> float:
+        spent = self.spent
+        return self.budget.delta - (spent.delta if spent else 0.0)
+
+    def can_afford(self, spec: PrivacySpec) -> bool:
+        """Whether a further release with ``spec`` stays within budget."""
+        tol = 1e-12
+        return (
+            spec.epsilon <= self.remaining_epsilon + tol
+            and spec.delta <= self.remaining_delta + tol
+        )
+
+    def charge(self, spec: PrivacySpec, *, label: str = "release") -> None:
+        """Record an expenditure, or raise :class:`PrivacyBudgetError`."""
+        if not self.can_afford(spec):
+            raise PrivacyBudgetError(
+                f"cannot afford {spec}: remaining budget is "
+                f"(ε={self.remaining_epsilon:.6g}, δ={self.remaining_delta:.3g})"
+            )
+        self._ledger.append(LedgerEntry(label=label, spec=spec))
+
+    def run(self, mechanism: Mechanism, dataset, *, label: str | None = None,
+            random_state=None):
+        """Charge for and execute one mechanism release."""
+        self.charge(
+            mechanism.privacy, label=label or type(mechanism).__name__
+        )
+        return mechanism.release(dataset, random_state=random_state)
+
+    def ledger(self) -> list[LedgerEntry]:
+        """A copy of the recorded expenditures, in order."""
+        return list(self._ledger)

@@ -1,0 +1,83 @@
+"""Mechanism interface and privacy specifications.
+
+Definition 2.1 of the paper: a randomized function ``f`` is ε-DP if for all
+neighbouring datasets ``D, D'`` and all output events ``Y``,
+``Pr[f(D) ∈ Y] ≤ e^ε · Pr[f(D') ∈ Y]``. Every mechanism in this package
+carries its claimed :class:`PrivacySpec` so accountants and auditors can
+read guarantees off the object rather than trusting call sites.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class PrivacySpec:
+    """An (ε, δ) differential-privacy guarantee.
+
+    ``delta == 0`` is pure ε-DP — the only flavour the paper uses — while
+    ``delta > 0`` covers the Gaussian mechanism extension.
+    """
+
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.epsilon, name="epsilon")
+        check_in_range(self.delta, name="delta", low=0.0, high=1.0)
+
+    @property
+    def is_pure(self) -> bool:
+        """True when the guarantee is pure ε-DP (δ = 0)."""
+        return self.delta == 0.0
+
+    def compose(self, other: "PrivacySpec") -> "PrivacySpec":
+        """Sequential (basic) composition: parameters add."""
+        return PrivacySpec(self.epsilon + other.epsilon, self.delta + other.delta)
+
+    def __str__(self) -> str:
+        if self.is_pure:
+            return f"{self.epsilon:.6g}-DP"
+        return f"({self.epsilon:.6g}, {self.delta:.3g})-DP"
+
+
+class Mechanism(abc.ABC):
+    """A randomized function of a dataset with a declared privacy guarantee.
+
+    Subclasses implement :meth:`release` (one randomized output for one
+    dataset). The base class stores the nominal :class:`PrivacySpec`;
+    auditors in :mod:`repro.privacy` measure whether the implementation
+    actually honours it.
+    """
+
+    def __init__(self, privacy: PrivacySpec) -> None:
+        if not isinstance(privacy, PrivacySpec):
+            raise ValidationError("privacy must be a PrivacySpec")
+        self._privacy = privacy
+
+    @property
+    def privacy(self) -> PrivacySpec:
+        """The nominal differential-privacy guarantee of this mechanism."""
+        return self._privacy
+
+    @property
+    def epsilon(self) -> float:
+        """Shorthand for ``privacy.epsilon``."""
+        return self._privacy.epsilon
+
+    @property
+    def delta(self) -> float:
+        """Shorthand for ``privacy.delta``."""
+        return self._privacy.delta
+
+    @abc.abstractmethod
+    def release(self, dataset, random_state=None):
+        """Produce one randomized, privacy-preserving output for ``dataset``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._privacy})"

@@ -1,0 +1,150 @@
+"""Continual release: the binary-tree mechanism (Chan–Shi–Song 2011).
+
+Releasing a running count at every time step under ε-DP: the naive
+approach re-noises each prefix independently (error grows like T under a
+fixed budget), while the binary-tree mechanism noises each node of a
+dyadic decomposition once and answers every prefix as a sum of at most
+``log₂ T`` nodes — per-step error ``O(log^{1.5} T / ε)``. The classic
+demonstration that *structure* in the release buys accuracy at equal
+privacy (Experiment E15).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.continuous import LaplaceNoise
+from repro.exceptions import ValidationError
+from repro.mechanisms.base import Mechanism, PrivacySpec
+from repro.utils.validation import check_random_state
+
+
+class TreeAggregator(Mechanism):
+    """ε-DP continual counting over a fixed horizon via dyadic trees.
+
+    Parameters
+    ----------
+    horizon:
+        Number of time steps T (padded internally to a power of two).
+    epsilon:
+        Total privacy budget for the whole stream. Every stream element
+        appears in exactly ``levels = log₂ T`` tree nodes, so each node is
+        noised with ``Lap(levels / ε)``.
+    value_sensitivity:
+        Bound on each stream element's magnitude (default 1 for counts).
+    """
+
+    def __init__(
+        self, horizon: int, epsilon: float, *, value_sensitivity: float = 1.0
+    ) -> None:
+        super().__init__(PrivacySpec(epsilon=epsilon))
+        if horizon < 1:
+            raise ValidationError("horizon must be >= 1")
+        if value_sensitivity <= 0:
+            raise ValidationError("value_sensitivity must be > 0")
+        self.horizon = int(horizon)
+        self.size = 1
+        while self.size < self.horizon:
+            self.size *= 2
+        self.levels = int(np.log2(self.size)) + 1
+        self.value_sensitivity = float(value_sensitivity)
+        self.noise = LaplaceNoise(
+            scale=self.levels * self.value_sensitivity / self.epsilon
+        )
+
+    def _noisy_tree(self, values: np.ndarray, rng) -> list[np.ndarray]:
+        """Per-level noisy partial sums; level 0 = leaves."""
+        padded = np.zeros(self.size)
+        padded[: values.shape[0]] = values
+        tree = []
+        level = padded
+        for _ in range(self.levels):
+            tree.append(
+                level + self.noise.sample(size=level.shape[0], random_state=rng)
+            )
+            if level.shape[0] > 1:
+                level = level.reshape(-1, 2).sum(axis=1)
+            else:
+                break
+        return tree
+
+    def release(self, stream, random_state=None) -> np.ndarray:
+        """All T prefix sums, each assembled from ≤ log₂ T noisy nodes."""
+        values = np.asarray(stream, dtype=float)
+        if values.ndim != 1 or values.shape[0] == 0:
+            raise ValidationError("stream must be a nonempty 1-D array")
+        if values.shape[0] > self.horizon:
+            raise ValidationError(
+                f"stream longer than the horizon ({self.horizon})"
+            )
+        if np.any(np.abs(values) > self.value_sensitivity + 1e-12):
+            raise ValidationError(
+                "stream values exceed the declared sensitivity"
+            )
+        rng = check_random_state(random_state)
+        tree = self._noisy_tree(values, rng)
+
+        prefixes = np.empty(values.shape[0])
+        for t in range(1, values.shape[0] + 1):
+            # Decompose [0, t) into dyadic nodes via the binary expansion.
+            total = 0.0
+            position = 0
+            remaining = t
+            level = len(tree) - 1
+            while remaining > 0 and level >= 0:
+                block = 1 << level
+                if remaining >= block:
+                    total += tree[level][position // block]
+                    position += block
+                    remaining -= block
+                level -= 1
+            prefixes[t - 1] = total
+        return prefixes
+
+    def per_step_noise_std(self) -> float:
+        """Worst-case standard deviation of one released prefix.
+
+        A prefix uses at most ``levels`` nodes, each with Laplace variance
+        ``2·scale²``.
+        """
+        return float(np.sqrt(2.0 * self.levels) * self.noise.scale)
+
+
+class NaivePrefixRelease(Mechanism):
+    """Baseline: re-noise every prefix independently under one budget.
+
+    Each stream element affects all T prefixes, so the L1 sensitivity of
+    the prefix vector is ``T·value_sensitivity`` and each prefix needs
+    ``Lap(T/ε)`` — the per-step error grows linearly in T. Exists to make
+    the tree mechanism's advantage measurable.
+    """
+
+    def __init__(
+        self, horizon: int, epsilon: float, *, value_sensitivity: float = 1.0
+    ) -> None:
+        super().__init__(PrivacySpec(epsilon=epsilon))
+        if horizon < 1:
+            raise ValidationError("horizon must be >= 1")
+        self.horizon = int(horizon)
+        self.value_sensitivity = float(value_sensitivity)
+        self.noise = LaplaceNoise(
+            scale=self.horizon * self.value_sensitivity / self.epsilon
+        )
+
+    def release(self, stream, random_state=None) -> np.ndarray:
+        values = np.asarray(stream, dtype=float)
+        if values.ndim != 1 or values.shape[0] == 0:
+            raise ValidationError("stream must be a nonempty 1-D array")
+        if values.shape[0] > self.horizon:
+            raise ValidationError(
+                f"stream longer than the horizon ({self.horizon})"
+            )
+        rng = check_random_state(random_state)
+        prefixes = np.cumsum(values)
+        return prefixes + self.noise.sample(
+            size=prefixes.shape[0], random_state=rng
+        )
+
+    def per_step_noise_std(self) -> float:
+        """Standard deviation of one released prefix: ``√2·T/ε``."""
+        return float(np.sqrt(2.0) * self.noise.scale)

@@ -1,0 +1,74 @@
+"""The Gaussian mechanism — (ε, δ)-DP via Gaussian noise.
+
+Not used by the paper directly (the paper works with pure ε-DP), but
+included because it is the standard approximate-DP comparator; the privacy
+auditor uses it as a *negative control*: it must fail a pure-ε audit while
+passing the (ε, δ) hockey-stick test.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.distributions.continuous import GaussianNoise
+from repro.mechanisms.base import Mechanism, PrivacySpec
+from repro.utils.validation import check_in_range, check_positive, check_random_state
+
+
+def gaussian_sigma(sensitivity: float, epsilon: float, delta: float) -> float:
+    """Classical calibration ``σ = Δf · sqrt(2 ln(1.25/δ)) / ε``.
+
+    Valid for ε ≤ 1 (Dwork & Roth, Theorem A.1); we allow larger ε but the
+    guarantee is then conservative only in the auditor's measured sense.
+    """
+    sensitivity = check_positive(sensitivity, name="sensitivity")
+    epsilon = check_positive(epsilon, name="epsilon")
+    delta = check_in_range(delta, name="delta", low=0.0, high=1.0, inclusive=False)
+    return sensitivity * float(np.sqrt(2.0 * np.log(1.25 / delta))) / epsilon
+
+
+class GaussianMechanism(Mechanism):
+    """(ε, δ)-DP release of a real query via Gaussian noise.
+
+    Parameters
+    ----------
+    query:
+        Dataset → float (or fixed-length vector; sensitivity bounds the L2
+        displacement in that case).
+    sensitivity:
+        Global L2 sensitivity of the query.
+    epsilon, delta:
+        Approximate-DP parameters; noise scale follows the classical
+        calibration.
+    """
+
+    def __init__(
+        self,
+        query: Callable,
+        sensitivity: float,
+        epsilon: float,
+        delta: float,
+    ) -> None:
+        super().__init__(PrivacySpec(epsilon=epsilon, delta=delta))
+        if delta <= 0:
+            raise ValueError("GaussianMechanism requires delta > 0")
+        self.query = query
+        self.sensitivity = check_positive(sensitivity, name="sensitivity")
+        self.noise = GaussianNoise(sigma=gaussian_sigma(sensitivity, epsilon, delta))
+
+    def release(self, dataset, random_state=None):
+        """Return ``query(dataset) + N(0, σ²)`` (elementwise for vectors)."""
+        rng = check_random_state(random_state)
+        true_value = np.asarray(self.query(dataset), dtype=float)
+        noise = self.noise.sample(size=true_value.shape or None, random_state=rng)
+        released = true_value + noise
+        if released.shape == ():
+            return float(released)
+        return released
+
+    def output_log_density(self, dataset, value) -> float:
+        """Log-density of releasing ``value`` on ``dataset`` (scalar query)."""
+        true_value = float(np.asarray(self.query(dataset), dtype=float))
+        return float(self.noise.log_density(float(value) - true_value))

@@ -1,0 +1,180 @@
+"""Private histograms and linear query workloads.
+
+The workhorse of statistical-database releases (the paper's opening
+motivation): publish per-category counts under ε-DP, then answer any
+number of *linear* queries (ranges, marginals, totals) as free
+post-processing of the noisy histogram.
+
+Under the substitution neighbour relation one record moves between two
+bins, so the counts vector has L1 sensitivity 2; per-bin ``Lap(2/ε)`` (or
+two-sided geometric) noise suffices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.distributions.continuous import LaplaceNoise
+from repro.exceptions import NotFittedError, ValidationError
+from repro.mechanisms.base import Mechanism, PrivacySpec
+from repro.utils.validation import check_random_state
+
+#: L1 sensitivity of a histogram under record substitution.
+HISTOGRAM_SENSITIVITY = 2.0
+
+
+class PrivateHistogram(Mechanism):
+    """ε-DP release of per-category counts.
+
+    Parameters
+    ----------
+    categories:
+        The fixed, data-independent category list.
+    epsilon:
+        Privacy parameter.
+    noise:
+        ``"laplace"`` (continuous counts) or ``"geometric"`` (integer
+        counts; exact discrete output law).
+    """
+
+    def __init__(
+        self, categories: Sequence, epsilon: float, *, noise: str = "laplace"
+    ) -> None:
+        super().__init__(PrivacySpec(epsilon=epsilon))
+        self.categories = tuple(categories)
+        if not self.categories:
+            raise ValidationError("categories must not be empty")
+        if len(set(self.categories)) != len(self.categories):
+            raise ValidationError("categories must be distinct")
+        if noise not in ("laplace", "geometric"):
+            raise ValidationError("noise must be 'laplace' or 'geometric'")
+        self.noise_kind = noise
+        self.noise_scale = HISTOGRAM_SENSITIVITY / self.epsilon
+        self.noisy_counts: np.ndarray | None = None
+        self._index = {c: i for i, c in enumerate(self.categories)}
+
+    def true_counts(self, records: Sequence) -> np.ndarray:
+        """Exact per-category counts (internal; never release directly)."""
+        counts = np.zeros(len(self.categories))
+        for record in records:
+            index = self._index.get(record)
+            if index is None:
+                raise ValidationError(
+                    f"record {record!r} is not in the category list"
+                )
+            counts[index] += 1
+        return counts
+
+    def release(self, records: Sequence, random_state=None) -> np.ndarray:
+        """Noisy counts aligned with :attr:`categories`."""
+        rng = check_random_state(random_state)
+        counts = self.true_counts(records)
+        if self.noise_kind == "laplace":
+            noise = LaplaceNoise(self.noise_scale).sample(
+                size=counts.shape, random_state=rng
+            )
+            self.noisy_counts = counts + noise
+        else:
+            alpha = float(np.exp(-1.0 / self.noise_scale))
+            g1 = rng.geometric(1.0 - alpha, size=counts.shape) - 1
+            g2 = rng.geometric(1.0 - alpha, size=counts.shape) - 1
+            self.noisy_counts = counts + (g1 - g2).astype(float)
+        return self.noisy_counts
+
+    def nonnegative_counts(self) -> np.ndarray:
+        """Post-processed counts clipped at zero (free by post-processing)."""
+        if self.noisy_counts is None:
+            raise NotFittedError("release() has not been called")
+        return np.clip(self.noisy_counts, 0.0, None)
+
+    def expected_max_error(self, confidence: float = 0.95) -> float:
+        """Bound m on per-bin error with P(max |error| ≤ m) ≥ confidence.
+
+        Union bound over k bins of the Laplace tail:
+        ``m = scale · ln(k / (1 - confidence))``.
+        """
+        if not 0.0 < confidence < 1.0:
+            raise ValidationError("confidence must lie strictly in (0, 1)")
+        k = len(self.categories)
+        return self.noise_scale * float(np.log(k / (1.0 - confidence)))
+
+
+class LinearQueryWorkload:
+    """A batch of linear queries answered from one noisy histogram.
+
+    A query is a weight vector w over categories; its answer is ``w·counts``.
+    Because all queries are post-processing of a single ε-DP release, the
+    whole workload costs ε *total*, regardless of its size — the
+    histogram-vs-per-query-Laplace comparison is the classic accuracy
+    argument for structured releases.
+    """
+
+    def __init__(self, categories: Sequence, queries) -> None:
+        self.categories = tuple(categories)
+        matrix = np.asarray(queries, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.categories):
+            raise ValidationError(
+                "queries must be a matrix with one column per category"
+            )
+        self.matrix = matrix
+
+    @classmethod
+    def all_range_queries(cls, categories: Sequence) -> "LinearQueryWorkload":
+        """Every contiguous range [i, j] over ordered categories."""
+        k = len(tuple(categories))
+        rows = []
+        for i in range(k):
+            for j in range(i, k):
+                row = np.zeros(k)
+                row[i : j + 1] = 1.0
+                rows.append(row)
+        return cls(categories, np.stack(rows))
+
+    @classmethod
+    def prefix_queries(cls, categories: Sequence) -> "LinearQueryWorkload":
+        """The k prefix sums (empirical CDF workload)."""
+        k = len(tuple(categories))
+        return cls(categories, np.tril(np.ones((k, k))))
+
+    def __len__(self) -> int:
+        return self.matrix.shape[0]
+
+    def true_answers(self, counts) -> np.ndarray:
+        """Exact workload answers from exact counts."""
+        return self.matrix @ np.asarray(counts, dtype=float)
+
+    def answer(self, noisy_counts) -> np.ndarray:
+        """Workload answers from the noisy histogram (free post-processing)."""
+        return self.matrix @ np.asarray(noisy_counts, dtype=float)
+
+    def per_query_noise_variance(self, noise_scale: float) -> np.ndarray:
+        """Variance of each answer when per-bin noise is Lap(noise_scale).
+
+        Var of one bin is ``2·scale²``; query w accumulates ``‖w‖₂²`` of it.
+        """
+        if noise_scale <= 0:
+            raise ValidationError("noise_scale must be > 0")
+        return 2.0 * noise_scale**2 * (self.matrix**2).sum(axis=1)
+
+    def expected_l2_error_histogram(self, noise_scale: float) -> float:
+        """RMS error of the workload answered via the noisy histogram."""
+        return float(
+            np.sqrt(self.per_query_noise_variance(noise_scale).mean())
+        )
+
+    def expected_l2_error_per_query_laplace(
+        self, epsilon: float, sensitivity_per_query: float = 1.0
+    ) -> float:
+        """RMS error if each query were instead answered with its own
+        Laplace mechanism under basic composition (budget ε / m each).
+
+        The comparison point: for m queries this error grows like m, while
+        the histogram route pays only the workload's column norms.
+        """
+        if epsilon <= 0:
+            raise ValidationError("epsilon must be > 0")
+        m = len(self)
+        per_query_scale = sensitivity_per_query * m / epsilon
+        return float(np.sqrt(2.0) * per_query_scale)

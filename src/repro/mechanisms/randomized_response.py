@@ -1,0 +1,78 @@
+"""Randomized response — the oldest DP mechanism (Warner 1965).
+
+Each respondent reports their true binary value with probability
+``e^ε / (1 + e^ε)`` and flips it otherwise; this is exactly ε-DP *per
+record* and the aggregate proportion admits an unbiased debiased estimator.
+Included both as a mechanism and as the simplest exactly-auditable channel:
+its 2×2 output law saturates the DP inequality, so the exact auditor must
+measure ε with equality (Experiment E8's sharpness check).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.information.channel import DiscreteChannel
+from repro.mechanisms.base import Mechanism, PrivacySpec
+from repro.utils.validation import check_random_state
+
+
+class RandomizedResponse(Mechanism):
+    """Per-record ε-DP randomization of binary values.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy parameter; truth probability is ``e^ε / (1 + e^ε)``.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__(PrivacySpec(epsilon=epsilon))
+        self.truth_probability = float(np.exp(epsilon) / (1.0 + np.exp(epsilon)))
+
+    def randomize_bit(self, bit: int, random_state=None) -> int:
+        """Randomize one binary value."""
+        if bit not in (0, 1):
+            raise ValidationError("bits must be 0 or 1")
+        rng = check_random_state(random_state)
+        if rng.uniform() < self.truth_probability:
+            return int(bit)
+        return 1 - int(bit)
+
+    def release(self, dataset, random_state=None) -> np.ndarray:
+        """Randomize every bit of a binary dataset independently."""
+        rng = check_random_state(random_state)
+        bits = np.asarray(dataset, dtype=int)
+        if not np.isin(bits, (0, 1)).all():
+            raise ValidationError("dataset must contain only 0/1 values")
+        keep = rng.uniform(size=bits.shape) < self.truth_probability
+        return np.where(keep, bits, 1 - bits)
+
+    def estimate_proportion(self, randomized_bits) -> float:
+        """Debiased estimate of the true proportion of ones.
+
+        If p is the truth probability and ȳ the observed mean, the unbiased
+        estimate is ``(ȳ - (1 - p)) / (2p - 1)``, clipped to [0, 1].
+        """
+        observed = float(np.asarray(randomized_bits, dtype=float).mean())
+        p = self.truth_probability
+        raw = (observed - (1.0 - p)) / (2.0 * p - 1.0)
+        return float(np.clip(raw, 0.0, 1.0))
+
+    def estimator_variance(self, n: int) -> float:
+        """Worst-case variance of the debiased estimator over n records."""
+        if n < 1:
+            raise ValidationError("n must be >= 1")
+        p = self.truth_probability
+        # Var(ȳ) ≤ 1/(4n); scale by the debiasing factor squared.
+        return 1.0 / (4.0 * n * (2.0 * p - 1.0) ** 2)
+
+    def as_channel(self) -> DiscreteChannel:
+        """The per-record 2×2 channel — a maximally sharp ε-DP channel."""
+        p = self.truth_probability
+        return DiscreteChannel(
+            input_alphabet=(0, 1),
+            output_alphabet=(0, 1),
+            matrix=[[p, 1.0 - p], [1.0 - p, p]],
+        )

@@ -1,0 +1,156 @@
+"""Smooth sensitivity (Nissim–Raskhodnikova–Smith 2007) for the median.
+
+Global sensitivity is worst-case over *all* datasets; for queries like
+the median it is enormous (the whole data range) even when the actual
+dataset is benign. Smooth sensitivity interpolates: it upper-bounds the
+local sensitivity by a function that changes slowly between neighbours,
+
+    S_β(x) = max_k  e^{-βk} · A_k(x),
+    A_k(x) = max local sensitivity over datasets within distance k,
+
+and calibrating noise to S instead of the global constant preserves
+privacy with far less noise on typical data. Implemented for the median
+of bounded scalars with two noise laws:
+
+* Cauchy noise — pure ε-DP with β = ε/6 and scale ``6·S/ε``;
+* Laplace noise — (ε, δ)-DP with β = ε/(2·ln(2/δ)) and scale ``2·S/ε``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.mechanisms.base import Mechanism, PrivacySpec
+from repro.utils.validation import check_in_range, check_positive, check_random_state
+
+
+def median_local_sensitivity_at_distance(
+    sorted_values: np.ndarray, k: int, lower: float, upper: float
+) -> float:
+    """``A_k``: the largest local sensitivity of the median over datasets
+    at Hamming distance ≤ k from the given (sorted, bounded) one.
+
+    With n values and median index m, an adversary moving k records can
+    shift the relevant order statistics; the classical formula is
+    ``max_{t=0..k+1} ( x_{m+t} - x_{m+t-k-1} )`` with out-of-range indices
+    clipped to the data bounds.
+    """
+    n = sorted_values.shape[0]
+    if n == 0:
+        raise ValidationError("need at least one value")
+    m = (n - 1) // 2  # 0-based median index (lower median for even n)
+
+    def value_at(index: int) -> float:
+        if index < 0:
+            return lower
+        if index >= n:
+            return upper
+        return float(sorted_values[index])
+
+    worst = 0.0
+    for t in range(k + 2):
+        gap = value_at(m + t) - value_at(m + t - k - 1)
+        worst = max(worst, gap)
+    return worst
+
+
+def median_smooth_sensitivity(
+    values, beta: float, *, lower: float, upper: float
+) -> float:
+    """``S_β = max_k e^{-βk}·A_k`` for the median of bounded scalars.
+
+    Exact by scanning every k from 0 to n (A_k saturates at the full range
+    for k ≥ n, and the exponential damping makes larger k irrelevant).
+    """
+    beta = check_positive(beta, name="beta")
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        raise ValidationError("values must not be empty")
+    if not lower < upper:
+        raise ValidationError("need lower < upper")
+    if arr[0] < lower - 1e-12 or arr[-1] > upper + 1e-12:
+        raise ValidationError("values must lie within [lower, upper]")
+
+    n = arr.size
+    m = (n - 1) // 2
+    # Pad so every index m+t / m+t-k-1 for k <= n resolves by plain lookup:
+    # below-range indices clip to `lower`, above-range to `upper`.
+    pad = n + 2
+    padded = np.concatenate(
+        [np.full(pad, lower), arr, np.full(pad, upper)]
+    )
+    center = m + pad  # position of the median in `padded`
+
+    best = 0.0
+    full_range = upper - lower
+    for k in range(n + 1):
+        # A_k = max_{t=0..k+1} padded[center+t] - padded[center+t-k-1],
+        # evaluated as one vectorized lag-(k+1) difference.
+        upper_slice = padded[center : center + k + 2]
+        lower_slice = padded[center - k - 1 : center + 1]
+        local = float((upper_slice - lower_slice).max())
+        best = max(best, np.exp(-beta * k) * local)
+        if local >= full_range:
+            break  # A_k has saturated; further k only decay
+    return float(best)
+
+
+class SmoothSensitivityMedian(Mechanism):
+    """Private median of bounded scalars via smooth sensitivity.
+
+    Parameters
+    ----------
+    lower, upper:
+        Public data bounds.
+    epsilon:
+        Privacy parameter.
+    delta:
+        0 for the pure-DP Cauchy variant; > 0 selects the Laplace variant.
+    """
+
+    def __init__(
+        self, lower: float, upper: float, epsilon: float, *, delta: float = 0.0
+    ) -> None:
+        super().__init__(PrivacySpec(epsilon=epsilon, delta=delta))
+        if not lower < upper:
+            raise ValidationError("need lower < upper")
+        self.lower = float(lower)
+        self.upper = float(upper)
+        if delta == 0.0:
+            self.beta = epsilon / 6.0
+            self.noise_kind = "cauchy"
+        else:
+            check_in_range(delta, name="delta", low=0.0, high=1.0, inclusive=False)
+            self.beta = epsilon / (2.0 * np.log(2.0 / delta))
+            self.noise_kind = "laplace"
+
+    def smooth_sensitivity(self, values) -> float:
+        """The dataset's smooth sensitivity at this mechanism's β."""
+        return median_smooth_sensitivity(
+            values, self.beta, lower=self.lower, upper=self.upper
+        )
+
+    def release(self, values, random_state=None) -> float:
+        """Private median, clipped back into the public bounds."""
+        rng = check_random_state(random_state)
+        arr = np.asarray(values, dtype=float)
+        median = float(np.median(arr))
+        sensitivity = self.smooth_sensitivity(arr)
+        if self.noise_kind == "cauchy":
+            noise = float(rng.standard_cauchy()) * 6.0 * sensitivity / self.epsilon
+        else:
+            noise = float(
+                rng.laplace(scale=2.0 * sensitivity / self.epsilon)
+            )
+        return float(np.clip(median + noise, self.lower, self.upper))
+
+    def global_sensitivity_noise_scale(self) -> float:
+        """Scale a *global*-sensitivity Laplace mechanism would need.
+
+        The median's global sensitivity is the full range (move half the
+        points): ``(upper - lower)``, so the comparator adds
+        ``Lap(range/ε)`` — the quantity smooth sensitivity beats on
+        concentrated data.
+        """
+        return (self.upper - self.lower) / self.epsilon

@@ -1,0 +1,216 @@
+"""Privacy auditors: measure the ε a mechanism actually provides.
+
+Two complementary strategies:
+
+* :class:`ExactPrivacyAuditor` — for mechanisms exposing their exact output
+  distribution on finite ranges (the exponential mechanism, the Gibbs
+  estimator, randomized response, the geometric mechanism): enumerate every
+  neighbouring dataset pair on a finite universe and take the worst max
+  divergence. This *proves* Theorem 4.1's guarantee rather than sampling it.
+* :class:`SampledPrivacyAuditor` — for black-box mechanisms: draw many
+  outputs on a fixed neighbour pair, build empirical histograms, and report
+  a lower confidence bound on ε. A sampled audit can only ever *refute* a
+  claimed guarantee; the report says so explicitly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.exceptions import ValidationError
+from repro.information.divergences import max_divergence
+from repro.privacy.definitions import all_neighbour_pairs
+from repro.utils.validation import check_random_state
+
+
+@dataclass
+class AuditReport:
+    """Result of a privacy audit.
+
+    Attributes
+    ----------
+    measured_epsilon:
+        The measured worst-case privacy loss (exact, or an estimate for
+        sampled audits).
+    claimed_epsilon:
+        The mechanism's nominal guarantee, if one was supplied.
+    satisfied:
+        ``measured <= claimed`` (None when no claim was supplied).
+    worst_pair:
+        The neighbouring dataset pair achieving the measured loss.
+    worst_output:
+        The output atom achieving it.
+    pairs_checked:
+        Number of ordered neighbour pairs examined.
+    exact:
+        True for enumeration-based audits, False for sampled estimates.
+    details:
+        Auditor-specific extras (e.g. per-pair losses, sample counts).
+    """
+
+    measured_epsilon: float
+    claimed_epsilon: float | None
+    satisfied: bool | None
+    worst_pair: tuple | None
+    worst_output: object | None
+    pairs_checked: int
+    exact: bool
+    details: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kind = "exact" if self.exact else "sampled"
+        claim = (
+            f" (claimed {self.claimed_epsilon:.6g}: "
+            f"{'OK' if self.satisfied else 'VIOLATED'})"
+            if self.claimed_epsilon is not None
+            else ""
+        )
+        return (
+            f"AuditReport[{kind}]: measured ε = "
+            f"{self.measured_epsilon:.6g}{claim} over {self.pairs_checked} pairs"
+        )
+
+
+class ExactPrivacyAuditor:
+    """Enumerate neighbour pairs and compute the exact worst privacy loss.
+
+    Parameters
+    ----------
+    output_distribution:
+        ``dataset -> DiscreteDistribution`` giving the mechanism's exact
+        output law (all laws must share one support).
+    """
+
+    def __init__(
+        self, output_distribution: Callable[[Sequence], DiscreteDistribution]
+    ) -> None:
+        self.output_distribution = output_distribution
+
+    def audit(
+        self,
+        universe: Sequence,
+        n: int,
+        *,
+        claimed_epsilon: float | None = None,
+        tolerance: float = 1e-9,
+    ) -> AuditReport:
+        """Exact worst-case ε over all neighbouring size-``n`` datasets."""
+        worst = 0.0
+        worst_pair = None
+        worst_output = None
+        pairs = 0
+        cache: dict[tuple, DiscreteDistribution] = {}
+
+        def law(dataset: tuple) -> DiscreteDistribution:
+            if dataset not in cache:
+                cache[dataset] = self.output_distribution(list(dataset))
+            return cache[dataset]
+
+        reference_support = None
+        for dataset, neighbour in all_neighbour_pairs(universe, n):
+            pairs += 1
+            p = law(dataset)
+            q = law(neighbour)
+            if reference_support is None:
+                reference_support = p.support
+            if p.support != reference_support or q.support != reference_support:
+                raise ValidationError(
+                    "all output distributions must share one support"
+                )
+            loss = max_divergence(p, q)
+            if loss > worst:
+                worst = loss
+                worst_pair = (dataset, neighbour)
+                ratios = p.log_probabilities - q.log_probabilities
+                finite = np.where(p.probabilities > 0, ratios, -np.inf)
+                worst_output = p.support[int(np.argmax(finite))]
+
+        satisfied = None
+        if claimed_epsilon is not None:
+            satisfied = worst <= claimed_epsilon + tolerance
+        return AuditReport(
+            measured_epsilon=float(worst),
+            claimed_epsilon=claimed_epsilon,
+            satisfied=satisfied,
+            worst_pair=worst_pair,
+            worst_output=worst_output,
+            pairs_checked=pairs,
+            exact=True,
+        )
+
+
+class SampledPrivacyAuditor:
+    """Estimate the privacy loss of a black-box mechanism on one pair.
+
+    Draws ``n_samples`` outputs on each of two neighbouring datasets, forms
+    smoothed empirical histograms over the union of observed outputs, and
+    reports the max log-ratio. Laplace (add-one) smoothing keeps the
+    estimate finite; the smoothing makes the estimator conservative
+    (biased *downward*) for rare events, so the report is best read as a
+    lower bound on the true ε.
+    """
+
+    def __init__(
+        self,
+        release: Callable,
+        *,
+        n_samples: int = 20_000,
+        smoothing: float = 1.0,
+    ) -> None:
+        if n_samples < 1:
+            raise ValidationError("n_samples must be >= 1")
+        if smoothing <= 0:
+            raise ValidationError("smoothing must be > 0")
+        self.release = release
+        self.n_samples = int(n_samples)
+        self.smoothing = float(smoothing)
+
+    def audit_pair(
+        self,
+        dataset_a: Sequence,
+        dataset_b: Sequence,
+        *,
+        claimed_epsilon: float | None = None,
+        random_state=None,
+    ) -> AuditReport:
+        """Sampled privacy-loss estimate for one neighbouring pair."""
+        rng = check_random_state(random_state)
+        outputs_a = [self.release(dataset_a, random_state=rng) for _ in range(self.n_samples)]
+        outputs_b = [self.release(dataset_b, random_state=rng) for _ in range(self.n_samples)]
+
+        support = sorted(set(outputs_a) | set(outputs_b), key=repr)
+        index = {o: i for i, o in enumerate(support)}
+        counts_a = np.full(len(support), self.smoothing)
+        counts_b = np.full(len(support), self.smoothing)
+        for o in outputs_a:
+            counts_a[index[o]] += 1
+        for o in outputs_b:
+            counts_b[index[o]] += 1
+        p = counts_a / counts_a.sum()
+        q = counts_b / counts_b.sum()
+
+        log_ratios = np.log(p) - np.log(q)
+        worst_idx = int(np.argmax(np.abs(log_ratios)))
+        measured = float(np.abs(log_ratios).max())
+
+        satisfied = None
+        if claimed_epsilon is not None:
+            satisfied = measured <= claimed_epsilon
+        return AuditReport(
+            measured_epsilon=measured,
+            claimed_epsilon=claimed_epsilon,
+            satisfied=satisfied,
+            worst_pair=(tuple(dataset_a), tuple(dataset_b)),
+            worst_output=support[worst_idx],
+            pairs_checked=1,
+            exact=False,
+            details={
+                "n_samples": self.n_samples,
+                "support_size": len(support),
+                "smoothing": self.smoothing,
+            },
+        )

@@ -1,0 +1,133 @@
+"""The hypothesis-testing semantics of differential privacy.
+
+Definition 2.1 has an operational reading (Wasserman–Zhou, Kairouz et
+al.): an adversary who must decide between neighbouring datasets D and D'
+from one mechanism output is running a binary hypothesis test, and ε-DP
+lower-bounds its error tradeoff:
+
+    β(α)  ≥  max( 0,  1 - e^ε·α,  e^{-ε}·(1 - α) )
+
+for every type-I level α. Equivalently, the advantage of *any* attacker —
+membership inference included — is at most ``(e^ε - 1)/(e^ε + 1)``.
+
+This module computes both sides exactly for discrete mechanisms: the
+DP-implied tradeoff curve, and the *actual* optimal (Neyman–Pearson)
+attack ROC from the two output distributions — so the gap between the
+worst case the guarantee allows and what the mechanism actually leaks is
+measurable (Experiment E12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.discrete import DiscreteDistribution
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive
+
+
+def dp_tradeoff_curve(epsilon: float, alphas) -> np.ndarray:
+    """Lower bound on the type-II error β(α) implied by pure ε-DP."""
+    epsilon = check_positive(epsilon, name="epsilon")
+    alphas = np.asarray(alphas, dtype=float)
+    if np.any((alphas < 0) | (alphas > 1)):
+        raise ValidationError("alphas must lie in [0, 1]")
+    return np.maximum.reduce(
+        [
+            np.zeros_like(alphas),
+            1.0 - np.exp(epsilon) * alphas,
+            np.exp(-epsilon) * (1.0 - alphas),
+        ]
+    )
+
+
+def dp_advantage_bound(epsilon: float) -> float:
+    """Max attacker advantage (TPR - FPR) under ε-DP:
+    ``(e^ε - 1)/(e^ε + 1)``."""
+    epsilon = check_positive(epsilon, name="epsilon")
+    return float((np.exp(epsilon) - 1.0) / (np.exp(epsilon) + 1.0))
+
+
+@dataclass
+class AttackRoc:
+    """Optimal-attacker ROC for distinguishing two output laws.
+
+    ``alphas[i]`` is a false-positive rate, ``betas[i]`` the corresponding
+    minimal false-negative rate (Neyman–Pearson). ``advantage`` is the
+    best achievable TPR - FPR, which equals the total variation distance.
+    """
+
+    alphas: np.ndarray
+    betas: np.ndarray
+    advantage: float
+
+    def beta_at(self, alpha: float) -> float:
+        """Minimal β at a given α (piecewise-linear interpolation of the
+        lower convex envelope)."""
+        if not 0.0 <= alpha <= 1.0:
+            raise ValidationError("alpha must lie in [0, 1]")
+        return float(np.interp(alpha, self.alphas, self.betas))
+
+
+def optimal_attack_roc(
+    p: DiscreteDistribution, q: DiscreteDistribution
+) -> AttackRoc:
+    """Exact Neyman–Pearson ROC for testing H0: output ~ q vs H1: ~ p.
+
+    Sorting outcomes by likelihood ratio ``p/q`` descending and sweeping
+    the rejection set gives every vertex of the optimal tradeoff; the
+    returned curve is the lower convex envelope through those vertices
+    (randomized tests interpolate between them).
+    """
+    p.require_same_support(q)
+    p_probs = p.probabilities
+    q_probs = q.probabilities
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.where(q_probs > 0, p_probs / q_probs, np.inf)
+        ratios = np.where((q_probs == 0) & (p_probs == 0), 1.0, ratios)
+    order = np.argsort(-ratios, kind="stable")
+
+    # Vertex k: reject H0 on the k highest-ratio outcomes.
+    alphas = [0.0]
+    tprs = [0.0]
+    for index in order:
+        alphas.append(alphas[-1] + q_probs[index])
+        tprs.append(tprs[-1] + p_probs[index])
+    alphas_arr = np.asarray(alphas)
+    betas_arr = 1.0 - np.asarray(tprs)
+    advantage = float(np.max(np.asarray(tprs) - alphas_arr))
+    return AttackRoc(alphas=alphas_arr, betas=betas_arr, advantage=advantage)
+
+
+def membership_advantage(
+    p: DiscreteDistribution, q: DiscreteDistribution
+) -> float:
+    """Best attacker advantage distinguishing two neighbours' outputs.
+
+    Equals the total variation distance between the output laws — the
+    exact "membership-inference" risk of the release on that pair.
+    """
+    return optimal_attack_roc(p, q).advantage
+
+
+def verify_tradeoff_dominance(
+    p: DiscreteDistribution,
+    q: DiscreteDistribution,
+    epsilon: float,
+    *,
+    grid: int = 201,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Whether the actual attack ROC respects the ε-DP tradeoff bound.
+
+    Returns True iff ``β_actual(α) ≥ β_DP(α) - tolerance`` for every α on
+    a uniform grid — i.e. the mechanism leaks no more than ε-DP permits on
+    this pair. A False return is a *proof* of a privacy violation.
+    """
+    roc = optimal_attack_roc(p, q)
+    alphas = np.linspace(0.0, 1.0, grid)
+    bound = dp_tradeoff_curve(epsilon, alphas)
+    actual = np.asarray([roc.beta_at(a) for a in alphas])
+    return bool(np.all(actual >= bound - tolerance))

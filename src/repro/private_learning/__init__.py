@@ -1,0 +1,44 @@
+"""Differentially-private learners.
+
+The generic route the paper advocates — the Gibbs estimator / exponential
+mechanism over a predictor space — next to the specialized private-ERM
+algorithms of Chaudhuri, Monteleoni & Sarwate that the paper cites as
+motivation (refs 5, 6): output perturbation and objective perturbation for
+L2-regularized linear classifiers.
+"""
+
+from repro.private_learning.perturbation import (
+    ObjectivePerturbationClassifier,
+    OutputPerturbationClassifier,
+    erm_argmin_sensitivity,
+)
+from repro.private_learning.exponential_learner import (
+    ExponentialMechanismLearner,
+    direction_grid,
+)
+from repro.private_learning.regression import (
+    GibbsRidgeRegression,
+    SufficientStatisticsRidge,
+    coefficient_grid,
+)
+from repro.private_learning.density import (
+    GibbsDensityEstimator,
+    LaplaceHistogramDensity,
+    beta_shape_family,
+    discretize_density,
+)
+
+__all__ = [
+    "ExponentialMechanismLearner",
+    "GibbsDensityEstimator",
+    "GibbsRidgeRegression",
+    "LaplaceHistogramDensity",
+    "ObjectivePerturbationClassifier",
+    "OutputPerturbationClassifier",
+    "SufficientStatisticsRidge",
+    "beta_shape_family",
+    "coefficient_grid",
+    "direction_grid",
+    "discretize_density",
+    "erm_argmin_sensitivity",
+]

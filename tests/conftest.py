@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import DiscreteDistribution
+from repro.learning import BernoulliTask, PredictorGrid
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for reproducible tests."""
+    return np.random.default_rng(20120330)  # the workshop date
+
+
+@pytest.fixture
+def bernoulli_task() -> BernoulliTask:
+    """A biased-coin prediction task with closed-form risks."""
+    return BernoulliTask(p=0.75)
+
+
+@pytest.fixture
+def small_grid(bernoulli_task) -> PredictorGrid:
+    """A 5-point predictor grid on [0, 1] for the Bernoulli task."""
+    return PredictorGrid.linspace(bernoulli_task.loss, 0.0, 1.0, 5)
+
+
+@pytest.fixture
+def uniform_prior(small_grid) -> DiscreteDistribution:
+    """Uniform prior over the small grid."""
+    return DiscreteDistribution.uniform(small_grid.thetas)

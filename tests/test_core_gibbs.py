@@ -1,0 +1,180 @@
+"""Unit tests for the Gibbs posterior/estimator (Lemma 3.2, Theorem 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ContinuousGibbsPosterior,
+    GibbsEstimator,
+    GibbsPosterior,
+    privacy_of_temperature,
+    temperature_for_privacy,
+)
+from repro.distributions import DiscreteDistribution
+from repro.exceptions import ValidationError
+from repro.learning import BernoulliTask, PredictorGrid
+
+
+@pytest.fixture
+def task():
+    return BernoulliTask(p=0.8)
+
+
+@pytest.fixture
+def grid(task):
+    return PredictorGrid.linspace(task.loss, 0.0, 1.0, 5)
+
+
+class TestCalibration:
+    def test_roundtrip(self):
+        eps = privacy_of_temperature(10.0, loss_range=1.0, n=50)
+        assert temperature_for_privacy(eps, loss_range=1.0, n=50) == (
+            pytest.approx(10.0)
+        )
+
+    def test_formula(self):
+        # ε = 2λΔ = 2·5·(1/20) = 0.5
+        assert privacy_of_temperature(5.0, 1.0, 20) == pytest.approx(0.5)
+
+    def test_larger_n_allows_larger_temperature(self):
+        t_small = temperature_for_privacy(1.0, 1.0, 10)
+        t_large = temperature_for_privacy(1.0, 1.0, 1000)
+        assert t_large > t_small
+
+
+class TestGibbsPosterior:
+    def test_exact_form(self, grid):
+        gibbs = GibbsPosterior(grid, temperature=2.0)
+        sample = [1, 1, 0]
+        risks = grid.empirical_risks(sample)
+        expected = np.exp(-2.0 * risks)
+        expected /= expected.sum()
+        assert gibbs.posterior(sample).probabilities == pytest.approx(expected)
+
+    def test_respects_prior(self, grid):
+        prior = DiscreteDistribution(
+            grid.thetas, [0.6, 0.1, 0.1, 0.1, 0.1]
+        )
+        gibbs = GibbsPosterior(grid, temperature=1.0, prior=prior)
+        sample = [1, 1]
+        risks = grid.empirical_risks(sample)
+        expected = prior.probabilities * np.exp(-risks)
+        expected /= expected.sum()
+        assert gibbs.posterior(sample).probabilities == pytest.approx(expected)
+
+    def test_zero_temperature_limit_is_prior(self, grid):
+        gibbs = GibbsPosterior(grid, temperature=1e-12)
+        post = gibbs.posterior([1, 1, 1])
+        assert post.probabilities == pytest.approx([0.2] * 5, abs=1e-9)
+
+    def test_high_temperature_concentrates_on_erm(self, grid):
+        gibbs = GibbsPosterior(grid, temperature=10_000.0)
+        sample = [1] * 10
+        post = gibbs.posterior(sample)
+        assert post.mode() == grid.erm(sample)
+        assert post.probability_of(post.mode()) > 0.99
+
+    def test_huge_temperature_numerically_stable(self, grid):
+        gibbs = GibbsPosterior(grid, temperature=1e8)
+        post = gibbs.posterior([1, 0, 1])
+        assert np.isfinite(post.probabilities).all()
+        assert post.probabilities.sum() == pytest.approx(1.0)
+
+    def test_free_energy_is_minimum_of_objective(self, grid):
+        """free energy = min over posteriors of E R̂ + KL/λ (Lemma 3.2)."""
+        from repro.core.pac_bayes import catoni_objective
+
+        gibbs = GibbsPosterior(grid, temperature=3.0)
+        sample = [1, 1, 0, 1]
+        risks = grid.empirical_risks(sample)
+        prior = gibbs.prior
+        post = gibbs.posterior(sample)
+        objective_at_gibbs = catoni_objective(post, prior, risks, 3.0) / 3.0
+        assert gibbs.free_energy(sample) == pytest.approx(objective_at_gibbs)
+
+    def test_expected_empirical_risk_below_prior_risk(self, grid):
+        gibbs = GibbsPosterior(grid, temperature=5.0)
+        sample = [1, 1, 1, 0]
+        risks = grid.empirical_risks(sample)
+        prior_risk = float(risks @ gibbs.prior.probabilities)
+        assert gibbs.expected_empirical_risk(sample) <= prior_risk + 1e-12
+
+    def test_privacy_epsilon(self, grid):
+        gibbs = GibbsPosterior(grid, temperature=4.0)
+        assert gibbs.privacy_epsilon(8) == pytest.approx(2 * 4.0 / 8)
+
+    def test_rejects_mismatched_prior(self, grid):
+        prior = DiscreteDistribution([9.9], [1.0])
+        with pytest.raises(ValidationError):
+            GibbsPosterior(grid, 1.0, prior=prior)
+
+
+class TestGibbsEstimator:
+    def test_from_privacy_calibration(self, grid):
+        est = GibbsEstimator.from_privacy(grid, epsilon=1.0, expected_sample_size=100)
+        assert est.privacy.epsilon == pytest.approx(1.0)
+        assert est.temperature == pytest.approx(50.0)
+
+    def test_release_comes_from_grid(self, grid, task):
+        est = GibbsEstimator.from_privacy(grid, 1.0, 50)
+        sample = list(task.sample(50, random_state=0))
+        theta = est.release(sample, random_state=1)
+        assert theta in grid.thetas
+
+    def test_wrong_sample_size_rejected(self, grid):
+        est = GibbsEstimator.from_privacy(grid, 1.0, 50)
+        with pytest.raises(ValidationError):
+            est.release([1] * 49, random_state=0)
+
+    def test_more_privacy_means_flatter_posterior(self, grid, task):
+        sample = list(task.sample(50, random_state=2))
+        strict = GibbsEstimator.from_privacy(grid, 0.01, 50)
+        loose = GibbsEstimator.from_privacy(grid, 10.0, 50)
+        assert (
+            strict.output_distribution(sample).entropy()
+            > loose.output_distribution(sample).entropy()
+        )
+
+    def test_utility_improves_with_epsilon(self, grid, task):
+        """Expected true risk of the released predictor falls as ε grows."""
+        sample = list(task.sample(200, random_state=3))
+        risks = {}
+        for eps in [0.05, 1.0, 20.0]:
+            est = GibbsEstimator.from_privacy(grid, eps, 200)
+            dist = est.output_distribution(sample)
+            risks[eps] = sum(
+                p * task.true_risk(theta) for theta, p in dist
+            )
+        assert risks[20.0] < risks[1.0] < risks[0.05]
+
+
+class TestContinuousGibbs:
+    def test_posterior_concentrates_with_temperature(self):
+        task = BernoulliTask(p=0.9)
+        sample = list(task.sample(100, random_state=4))
+
+        def log_prior(theta):
+            # Flat prior on [0, 1], -inf outside (clamped smoothly).
+            return 0.0 if 0.0 <= theta[0] <= 1.0 else -1e9
+
+        def risk(theta, s):
+            return float(np.mean([abs(theta[0] - z) for z in s]))
+
+        gibbs = ContinuousGibbsPosterior(log_prior, risk, dimension=1, temperature=200.0)
+        result = gibbs.sample(
+            sample, 2_000, step_size=0.1, burn_in=500, initial=[0.5], random_state=5
+        )
+        draws = result.samples[:, 0]
+        assert draws.mean() > 0.8  # concentrates near the ERM θ = 1
+
+    def test_privacy_epsilon_formula(self):
+        gibbs = ContinuousGibbsPosterior(
+            lambda t: 0.0, lambda t, s: 0.0, dimension=1, temperature=10.0
+        )
+        assert gibbs.privacy_epsilon(loss_range=1.0, n=40) == pytest.approx(0.5)
+
+    def test_log_density_combines_prior_and_risk(self):
+        gibbs = ContinuousGibbsPosterior(
+            lambda t: -1.0, lambda t, s: 2.0, dimension=1, temperature=3.0
+        )
+        assert gibbs.log_density(np.zeros(1), [0]) == pytest.approx(-7.0)

@@ -1,0 +1,128 @@
+"""Unit tests for the mutual-information generalization bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GibbsEstimator,
+    LearningChannel,
+    exact_generalization_gap,
+    generalization_report,
+    mutual_information_generalization_bound,
+    privacy_generalization_bound,
+)
+from repro.distributions import DiscreteDistribution
+from repro.exceptions import ValidationError
+from repro.learning import BernoulliTask, PredictorGrid
+
+
+def build_channel(epsilon: float, n: int = 3, p: float = 0.7):
+    task = BernoulliTask(p=p)
+    grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 5)
+    estimator = GibbsEstimator.from_privacy(grid, epsilon, expected_sample_size=n)
+    law = DiscreteDistribution([0, 1], [1 - p, p])
+    channel = LearningChannel(law, n, estimator.gibbs.posterior)
+    return task, grid, channel
+
+
+class TestBoundFormulas:
+    def test_xu_raginsky_formula(self):
+        assert mutual_information_generalization_bound(0.5, 100) == (
+            pytest.approx(np.sqrt(0.5 / 200))
+        )
+
+    def test_zero_information_zero_gap(self):
+        assert mutual_information_generalization_bound(0.0, 10) == 0.0
+
+    def test_scales_with_loss_range(self):
+        small = mutual_information_generalization_bound(1.0, 10, loss_range=1.0)
+        large = mutual_information_generalization_bound(1.0, 10, loss_range=2.0)
+        assert large == pytest.approx(2 * small)
+
+    def test_privacy_chain_is_n_free(self):
+        assert privacy_generalization_bound(0.5, 10) == pytest.approx(
+            privacy_generalization_bound(0.5, 10_000)
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            mutual_information_generalization_bound(-0.1, 10)
+        with pytest.raises(ValidationError):
+            mutual_information_generalization_bound(0.1, 0)
+
+
+class TestExactGap:
+    def test_gap_nonnegative_for_gibbs(self):
+        """The Gibbs channel fits its own sample, so on average the true
+        risk exceeds the empirical risk (overfitting gap ≥ 0)."""
+        task, grid, channel = build_channel(epsilon=5.0)
+        gap = exact_generalization_gap(
+            channel,
+            true_risk=task.true_risk,
+            empirical_risk=lambda sample, theta: task.empirical_risk(
+                theta, sample
+            ),
+        )
+        assert gap >= -1e-12
+
+    def test_gap_increases_with_epsilon(self):
+        """Less privacy → more memorization → larger gap."""
+        gaps = []
+        for epsilon in [0.1, 2.0, 20.0]:
+            task, grid, channel = build_channel(epsilon=epsilon)
+            gaps.append(
+                exact_generalization_gap(
+                    channel,
+                    true_risk=task.true_risk,
+                    empirical_risk=lambda sample, theta: task.empirical_risk(
+                        theta, sample
+                    ),
+                )
+            )
+        assert gaps[0] < gaps[1] < gaps[2]
+
+    def test_gap_zero_for_constant_channel(self):
+        """A channel that ignores the sample cannot overfit: gap = 0."""
+        task = BernoulliTask(p=0.7)
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 5)
+        constant = DiscreteDistribution.uniform(grid.thetas)
+        law = DiscreteDistribution([0, 1], [0.3, 0.7])
+        channel = LearningChannel(law, 2, lambda sample: constant)
+        gap = exact_generalization_gap(
+            channel,
+            true_risk=task.true_risk,
+            empirical_risk=lambda sample, theta: task.empirical_risk(
+                theta, sample
+            ),
+        )
+        assert gap == pytest.approx(0.0, abs=1e-12)
+
+
+class TestGeneralizationReport:
+    @pytest.mark.parametrize("epsilon", [0.2, 1.0, 5.0, 20.0])
+    def test_xu_raginsky_bound_dominates_measured_gap(self, epsilon):
+        task, grid, channel = build_channel(epsilon=epsilon)
+        report = generalization_report(
+            channel,
+            true_risk=task.true_risk,
+            empirical_risk=lambda sample, theta: task.empirical_risk(
+                theta, sample
+            ),
+            epsilon=epsilon,
+        )
+        assert abs(report["generalization_gap"]) <= report["bound_xu_raginsky"]
+        assert abs(report["generalization_gap"]) <= report["bound_privacy_chain"]
+
+    def test_mi_bound_tighter_than_privacy_chain(self):
+        """The measured-MI route beats the a-priori ε route (I ≤ nε is
+        loose for the Gibbs channel, see E9)."""
+        task, grid, channel = build_channel(epsilon=1.0)
+        report = generalization_report(
+            channel,
+            true_risk=task.true_risk,
+            empirical_risk=lambda sample, theta: task.empirical_risk(
+                theta, sample
+            ),
+            epsilon=1.0,
+        )
+        assert report["bound_xu_raginsky"] < report["bound_privacy_chain"]

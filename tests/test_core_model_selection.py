@@ -1,0 +1,155 @@
+"""Unit tests for PAC-Bayes model selection (private and non-private)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    private_gibbs_with_selection,
+    select_temperature_by_bound,
+    select_temperature_private,
+)
+from repro.exceptions import ValidationError
+from repro.learning import BernoulliTask, PredictorGrid
+
+TEMPERATURES = [1.0, 4.0, 16.0, 64.0]
+
+
+@pytest.fixture
+def setup():
+    task = BernoulliTask(p=0.8)
+    grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 9)
+    sample = list(task.sample(200, random_state=0))
+    return task, grid, sample
+
+
+class TestBoundSelection:
+    def test_returns_candidate(self, setup):
+        _, grid, sample = setup
+        result = select_temperature_by_bound(grid, sample, TEMPERATURES)
+        assert result.temperature in TEMPERATURES
+        assert not result.private
+
+    def test_selected_bound_is_minimal(self, setup):
+        _, grid, sample = setup
+        result = select_temperature_by_bound(grid, sample, TEMPERATURES)
+        assert result.bound_value == min(result.per_candidate.values())
+
+    def test_certificate_covers_truth(self, setup):
+        """The union-bounded certificate at the selected λ must cover the
+        true Gibbs risk — the whole point of the δ/k correction."""
+        task, grid, sample = setup
+        from repro.core.pac_bayes import gibbs_minimizer
+        from repro.distributions import DiscreteDistribution
+
+        result = select_temperature_by_bound(
+            grid, sample, TEMPERATURES, delta=0.05
+        )
+        prior = DiscreteDistribution.uniform(grid.thetas)
+        risks = grid.empirical_risks(sample)
+        posterior = gibbs_minimizer(prior, risks, result.temperature)
+        true_risk = sum(p * task.true_risk(t) for t, p in posterior)
+        assert result.bound_value >= true_risk
+
+    def test_extreme_temperatures_not_selected(self, setup):
+        """Bound selection balances fit vs KL: with plenty of data the
+        minimizer is an interior candidate, not the tiniest λ."""
+        _, grid, sample = setup
+        candidates = [0.01, 1.0, 4.0, 14.0, 64.0, 100_000.0]
+        result = select_temperature_by_bound(grid, sample, candidates)
+        assert result.temperature not in (0.01, 100_000.0)
+
+    def test_rejects_empty_candidates(self, setup):
+        _, grid, sample = setup
+        with pytest.raises(ValidationError):
+            select_temperature_by_bound(grid, sample, [])
+
+
+class TestPrivateSelection:
+    def test_returns_candidate_with_privacy(self, setup):
+        _, grid, sample = setup
+        result = select_temperature_private(
+            grid, sample, TEMPERATURES, epsilon=1.0, random_state=1
+        )
+        assert result.temperature in TEMPERATURES
+        assert result.private
+        assert result.privacy.epsilon == pytest.approx(1.0)
+
+    def test_concentrates_on_low_free_energy_at_large_epsilon(self, setup):
+        _, grid, sample = setup
+        draws = [
+            select_temperature_private(
+                grid, sample, TEMPERATURES, epsilon=2000.0, random_state=seed
+            ).temperature
+            for seed in range(10)
+        ]
+        best = min(
+            TEMPERATURES,
+            key=lambda lam: select_temperature_private(
+                grid, sample, TEMPERATURES, epsilon=1.0, random_state=0
+            ).per_candidate[lam],
+        )
+        assert all(d == best for d in draws)
+
+    def test_near_uniform_at_tiny_epsilon(self, setup):
+        _, grid, sample = setup
+        draws = [
+            select_temperature_private(
+                grid, sample, TEMPERATURES, epsilon=1e-6, random_state=seed
+            ).temperature
+            for seed in range(40)
+        ]
+        assert len(set(draws)) >= 3  # effectively random over candidates
+
+
+class TestPipeline:
+    def test_end_to_end(self, setup):
+        _, grid, sample = setup
+        result = private_gibbs_with_selection(
+            grid,
+            sample,
+            TEMPERATURES,
+            selection_epsilon=0.5,
+            release_epsilon_budget=1.0,
+            random_state=2,
+        )
+        assert result.theta in grid.thetas
+        assert result.privacy.epsilon == pytest.approx(1.5)
+
+    def test_unaffordable_candidates_excluded(self, setup):
+        """λ=64 on n=200 costs 2·64/200 = 0.64 > 0.5: must be excluded."""
+        _, grid, sample = setup
+        result = private_gibbs_with_selection(
+            grid,
+            sample,
+            TEMPERATURES,
+            selection_epsilon=0.5,
+            release_epsilon_budget=0.5,
+            random_state=3,
+        )
+        assert result.temperature in (1.0, 4.0, 16.0)
+
+    def test_raises_when_nothing_affordable(self, setup):
+        _, grid, sample = setup
+        with pytest.raises(ValidationError, match="affordable"):
+            private_gibbs_with_selection(
+                grid,
+                sample,
+                [1_000_000.0],
+                selection_epsilon=0.5,
+                release_epsilon_budget=0.1,
+                random_state=4,
+            )
+
+    def test_released_predictor_is_useful(self, setup):
+        task, grid, sample = setup
+        result = private_gibbs_with_selection(
+            grid,
+            sample,
+            TEMPERATURES,
+            selection_epsilon=1.0,
+            release_epsilon_budget=2.0,
+            random_state=5,
+        )
+        # Better than a uniformly random grid predictor on true risk.
+        random_risk = float(np.mean([task.true_risk(t) for t in grid.thetas]))
+        assert task.true_risk(result.theta) <= random_risk

@@ -1,0 +1,175 @@
+"""Unit tests for the PAC-Bayes bounds (Theorem 3.1 and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    catoni_bound,
+    catoni_bound_in_expectation,
+    catoni_objective,
+    evaluate_all_bounds,
+    mcallester_bound,
+    minimize_catoni_bound,
+    seeger_bound,
+)
+from repro.core.pac_bayes import gibbs_minimizer, optimal_objective_value
+from repro.distributions import DiscreteDistribution
+from repro.exceptions import ValidationError
+from repro.learning import BernoulliTask, PredictorGrid
+
+
+class TestBoundValues:
+    def test_catoni_reduces_to_simple_form_for_small_rate(self):
+        # For λ << n, the bound is ≈ E R̂ + (KL + ln(1/δ))/λ.
+        emp, kl, n, lam, delta = 0.2, 0.5, 100_000, 10.0, 0.05
+        bound = catoni_bound(emp, kl, n, lam, delta)
+        approx = emp + (kl + np.log(1 / delta)) / lam
+        assert bound == pytest.approx(approx, rel=1e-3)
+
+    def test_catoni_increases_with_kl(self):
+        values = [catoni_bound(0.1, kl, 100, 10.0, 0.05) for kl in [0.0, 1.0, 5.0]]
+        assert values[0] < values[1] < values[2]
+
+    def test_catoni_increases_with_empirical_risk(self):
+        values = [catoni_bound(r, 0.5, 100, 10.0, 0.05) for r in [0.0, 0.3, 0.9]]
+        assert values[0] < values[1] < values[2]
+
+    def test_catoni_decreases_with_confidence_relaxation(self):
+        tight = catoni_bound(0.1, 0.5, 100, 10.0, 0.001)
+        loose = catoni_bound(0.1, 0.5, 100, 10.0, 0.5)
+        assert loose < tight
+
+    def test_mcallester_formula(self):
+        emp, kl, n, delta = 0.1, 1.0, 400, 0.05
+        expected = emp + np.sqrt((kl + np.log(2 * 20 / delta)) / 800)
+        assert mcallester_bound(emp, kl, n, delta) == pytest.approx(expected)
+
+    def test_seeger_tighter_than_mcallester_for_small_risk(self):
+        emp, kl, n, delta = 0.01, 0.5, 500, 0.05
+        assert seeger_bound(emp, kl, n, delta) <= mcallester_bound(
+            emp, kl, n, delta
+        )
+
+    def test_seeger_at_zero_kl_still_above_empirical(self):
+        assert seeger_bound(0.1, 0.0, 100, 0.05) > 0.1
+
+    def test_bounds_converge_to_empirical_risk(self):
+        """All bounds shrink toward E R̂ as n grows (fixed KL)."""
+        emp, kl, delta = 0.2, 0.5, 0.05
+        for bound_fn in [
+            lambda n: mcallester_bound(emp, kl, n, delta),
+            lambda n: seeger_bound(emp, kl, n, delta),
+            lambda n: catoni_bound(emp, kl, n, np.sqrt(n), delta),
+        ]:
+            small, large = bound_fn(100), bound_fn(1_000_000)
+            assert large < small
+            assert large == pytest.approx(emp, abs=0.02)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            catoni_bound(1.5, 0.0, 10, 1.0, 0.05)
+        with pytest.raises(ValidationError):
+            catoni_bound(0.5, -1.0, 10, 1.0, 0.05)
+        with pytest.raises(ValidationError):
+            mcallester_bound(0.5, 0.0, 10, 0.0)
+
+    def test_in_expectation_form(self):
+        value = catoni_bound_in_expectation(0.2, 0.3, 100, 10.0)
+        assert 0.2 < value < 1.0
+
+
+class TestGibbsOptimality:
+    @pytest.fixture
+    def setup(self):
+        task = BernoulliTask(p=0.75)
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 7)
+        sample = list(task.sample(40, random_state=0))
+        prior = DiscreteDistribution.uniform(grid.thetas)
+        risks = grid.empirical_risks(sample)
+        return prior, risks
+
+    def test_gibbs_beats_random_posteriors(self, setup):
+        prior, risks = setup
+        lam = 8.0
+        gibbs = gibbs_minimizer(prior, risks, lam)
+        gibbs_value = catoni_objective(gibbs, prior, risks, lam)
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            probs = rng.dirichlet(np.ones(len(prior)))
+            competitor = DiscreteDistribution(prior.support, probs)
+            assert gibbs_value <= catoni_objective(
+                competitor, prior, risks, lam
+            ) + 1e-10
+
+    def test_closed_form_value_identity(self, setup):
+        prior, risks = setup
+        lam = 5.0
+        gibbs = gibbs_minimizer(prior, risks, lam)
+        assert catoni_objective(gibbs, prior, risks, lam) == pytest.approx(
+            optimal_objective_value(prior, risks, lam)
+        )
+
+    def test_numerical_optimizer_recovers_gibbs(self, setup):
+        prior, risks = setup
+        lam = 3.0
+        gibbs = gibbs_minimizer(prior, risks, lam)
+        numerical, value = minimize_catoni_bound(
+            prior, risks, lam, numerical=True
+        )
+        assert value == pytest.approx(
+            optimal_objective_value(prior, risks, lam), abs=1e-4
+        )
+        assert numerical.total_variation_distance(gibbs) < 0.02
+
+    def test_objective_rejects_mismatched_risks(self, setup):
+        prior, risks = setup
+        with pytest.raises(ValidationError):
+            catoni_objective(prior, prior, risks[:-1], 1.0)
+
+
+class TestBoundValidity:
+    """Monte-Carlo check of Theorem 3.1: the bound holds w.p. >= 1 - δ."""
+
+    @pytest.mark.parametrize("n", [30, 120])
+    def test_catoni_coverage(self, n):
+        task = BernoulliTask(p=0.7)
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 9)
+        prior = DiscreteDistribution.uniform(grid.thetas)
+        delta = 0.1
+        lam = float(np.sqrt(n))
+        true_risks = np.array([task.true_risk(t) for t in grid.thetas])
+
+        violations = 0
+        trials = 300
+        rng = np.random.default_rng(42)
+        for _ in range(trials):
+            sample = list(task.sample(n, random_state=rng))
+            risks = grid.empirical_risks(sample)
+            posterior = gibbs_minimizer(prior, risks, lam)
+            emp = float(risks @ posterior.probabilities)
+            from repro.information import kl_divergence
+
+            kl = kl_divergence(posterior, prior)
+            bound = catoni_bound(emp, kl, n, lam, delta)
+            true = float(true_risks @ posterior.probabilities)
+            if true > bound:
+                violations += 1
+        assert violations / trials <= delta
+
+    def test_all_bounds_hold_on_one_draw(self):
+        task = BernoulliTask(p=0.8)
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 11)
+        prior = DiscreteDistribution.uniform(grid.thetas)
+        sample = list(task.sample(200, random_state=7))
+        risks = grid.empirical_risks(sample)
+        posterior = gibbs_minimizer(prior, risks, 14.0)
+        report = evaluate_all_bounds(posterior, prior, risks, 200, delta=0.05)
+        true_risk = sum(
+            p * task.true_risk(t) for t, p in posterior
+        )
+        assert report.catoni >= true_risk
+        assert report.mcallester >= true_risk
+        assert report.seeger >= true_risk
+        name, value = report.tightest()
+        assert name in {"catoni", "mcallester", "seeger"}
+        assert value == min(report.catoni, report.mcallester, report.seeger)

@@ -1,0 +1,149 @@
+"""The paper's claims as executable checks — all must HOLD."""
+
+import numpy as np
+import pytest
+
+from repro.core.theorems import (
+    check_exponential_mechanism_privacy,
+    check_gibbs_bound_optimality,
+    check_gibbs_channel_consistency,
+    check_gibbs_privacy,
+    check_tradeoff_fixed_point,
+)
+from repro.distributions import DiscreteDistribution
+from repro.learning import BernoulliTask, PredictorGrid, empirical_risk_matrix
+from repro.mechanisms import ExponentialMechanism
+
+
+@pytest.fixture
+def task():
+    return BernoulliTask(p=0.7)
+
+
+@pytest.fixture
+def grid(task):
+    return PredictorGrid.linspace(task.loss, 0.0, 1.0, 5)
+
+
+class TestTheorem41:
+    @pytest.mark.parametrize("temperature", [0.5, 2.0, 10.0])
+    def test_holds_across_temperatures(self, grid, temperature):
+        report = check_gibbs_privacy(grid, temperature, universe=[0, 1], n=3)
+        assert report.holds, str(report)
+
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_holds_across_sample_sizes(self, grid, n):
+        report = check_gibbs_privacy(grid, 3.0, universe=[0, 1], n=n)
+        assert report.holds, str(report)
+
+    def test_measured_positive_and_below_claim(self, grid):
+        report = check_gibbs_privacy(grid, 5.0, universe=[0, 1], n=2)
+        assert 0 < report.measured <= report.claimed
+
+    def test_nonuniform_prior(self, grid):
+        prior = DiscreteDistribution(grid.thetas, [0.4, 0.3, 0.1, 0.1, 0.1])
+        report = check_gibbs_privacy(
+            grid, 4.0, universe=[0, 1], n=2, prior=prior
+        )
+        assert report.holds
+
+    def test_claim_scales_with_temperature(self, grid):
+        low = check_gibbs_privacy(grid, 1.0, universe=[0, 1], n=2)
+        high = check_gibbs_privacy(grid, 4.0, universe=[0, 1], n=2)
+        assert high.claimed == pytest.approx(4 * low.claimed)
+
+    def test_report_str(self, grid):
+        report = check_gibbs_privacy(grid, 1.0, universe=[0, 1], n=2)
+        assert "Theorem 4.1" in str(report)
+        assert "HOLDS" in str(report)
+
+
+class TestTheorem25:
+    def test_calibrated_mechanism(self):
+        mech = ExponentialMechanism(
+            lambda d, u: -abs(sum(d) - u),
+            outputs=range(4),
+            sensitivity=1.0,
+            epsilon=1.0,
+        )
+        report = check_exponential_mechanism_privacy(mech, universe=[0, 1], n=3)
+        assert report.holds
+
+    def test_raw_paper_parametrization(self):
+        mech = ExponentialMechanism(
+            lambda d, u: -abs(sum(d) - u),
+            outputs=range(4),
+            sensitivity=1.0,
+            epsilon=0.7,
+            calibrated=False,
+        )
+        report = check_exponential_mechanism_privacy(mech, universe=[0, 1], n=3)
+        assert report.holds
+        assert report.claimed == pytest.approx(2 * 0.7 * 1.0)
+
+
+class TestLemma32:
+    def test_holds(self, task, grid):
+        sample = list(task.sample(30, random_state=0))
+        prior = DiscreteDistribution.uniform(grid.thetas)
+        risks = grid.empirical_risks(sample)
+        report = check_gibbs_bound_optimality(
+            prior, risks, temperature=6.0, random_state=1
+        )
+        assert report.holds, str(report)
+
+    def test_holds_with_skewed_prior(self, task, grid):
+        sample = list(task.sample(30, random_state=2))
+        prior = DiscreteDistribution(grid.thetas, [0.5, 0.2, 0.1, 0.1, 0.1])
+        risks = grid.empirical_risks(sample)
+        report = check_gibbs_bound_optimality(
+            prior, risks, temperature=2.0, random_state=3
+        )
+        assert report.holds
+
+    def test_details_contain_free_energy(self, task, grid):
+        sample = list(task.sample(10, random_state=4))
+        prior = DiscreteDistribution.uniform(grid.thetas)
+        report = check_gibbs_bound_optimality(
+            prior, grid.empirical_risks(sample), 1.0, random_state=5
+        )
+        assert report.details["identity_gap"] < 1e-8
+
+
+class TestTheorem42:
+    @pytest.fixture
+    def instance(self, task, grid):
+        datasets = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        risks = empirical_risk_matrix(
+            lambda t, z: abs(t - z), grid.thetas, [list(d) for d in datasets]
+        )
+        p = task.p
+        source = np.array([(1 - p) ** 2, (1 - p) * p, p * (1 - p), p**2])
+        return source, risks
+
+    @pytest.mark.parametrize("epsilon", [0.3, 1.0, 5.0])
+    def test_holds_across_epsilons(self, instance, epsilon):
+        source, risks = instance
+        report = check_tradeoff_fixed_point(
+            source, risks, epsilon, random_state=0
+        )
+        assert report.holds, str(report)
+
+    def test_gibbs_deviation_tiny(self, instance):
+        source, risks = instance
+        report = check_tradeoff_fixed_point(source, risks, 1.0, random_state=1)
+        assert report.details["gibbs_deviation"] < 1e-7
+
+    def test_information_reported(self, instance):
+        source, risks = instance
+        report = check_tradeoff_fixed_point(source, risks, 2.0, random_state=2)
+        assert report.details["mutual_information"] >= 0
+
+
+class TestIdentification:
+    def test_exponential_mechanism_equals_gibbs_kernel(self):
+        rng = np.random.default_rng(0)
+        risks = rng.uniform(size=(6, 4))
+        prior = rng.dirichlet(np.ones(4))
+        report = check_gibbs_channel_consistency(prior, risks, temperature=3.0)
+        assert report.holds

@@ -1,0 +1,143 @@
+"""Unit tests for the MI-regularized tradeoff (Theorem 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import minimize_tradeoff, tradeoff_curve, tradeoff_objective
+from repro.core.tradeoff import gibbs_channel_matrix
+from repro.exceptions import ValidationError
+from repro.learning import BernoulliTask, PredictorGrid, empirical_risk_matrix
+
+
+@pytest.fixture
+def setup():
+    """A small exactly-solvable instance: Bernoulli datasets of size 2."""
+    task = BernoulliTask(p=0.7)
+    grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 5)
+    datasets = [(0, 0), (0, 1), (1, 0), (1, 1)]
+    risk_matrix = empirical_risk_matrix(
+        lambda t, z: abs(t - z), grid.thetas, [list(d) for d in datasets]
+    )
+    p = 0.7
+    source = np.array(
+        [(1 - p) ** 2, (1 - p) * p, p * (1 - p), p**2]
+    )
+    return source, risk_matrix, datasets, grid
+
+
+class TestObjective:
+    def test_deterministic_erm_channel_value(self, setup):
+        source, risks, _, _ = setup
+        n_rows, n_cols = risks.shape
+        channel = np.zeros((n_rows, n_cols))
+        channel[np.arange(n_rows), risks.argmin(axis=1)] = 1.0
+        value = tradeoff_objective(channel, source, risks, epsilon=1.0)
+        assert np.isfinite(value)
+        assert value > 0
+
+    def test_constant_channel_has_zero_information(self, setup):
+        source, risks, _, _ = setup
+        channel = np.tile(
+            np.full(risks.shape[1], 1.0 / risks.shape[1]), (risks.shape[0], 1)
+        )
+        value = tradeoff_objective(channel, source, risks, epsilon=1.0)
+        expected_risk = float((source[:, None] * channel * risks).sum())
+        assert value == pytest.approx(expected_risk)
+
+    def test_rejects_shape_mismatch(self, setup):
+        source, risks, _, _ = setup
+        with pytest.raises(ValidationError):
+            tradeoff_objective(risks[:, :-1], source, risks, 1.0)
+
+
+class TestGibbsChannelMatrix:
+    def test_rows_are_tilted_prior(self):
+        prior = np.array([0.5, 0.5])
+        risks = np.array([[0.0, 1.0]])
+        channel = gibbs_channel_matrix(prior, risks, temperature=1.0)
+        expected = np.array([1.0, np.exp(-1.0)])
+        expected /= expected.sum()
+        assert channel[0] == pytest.approx(expected)
+
+    def test_rows_stochastic(self):
+        rng = np.random.default_rng(0)
+        channel = gibbs_channel_matrix(
+            rng.dirichlet(np.ones(4)), rng.uniform(size=(5, 4)), 2.0
+        )
+        assert channel.sum(axis=1) == pytest.approx(np.ones(5))
+
+
+class TestMinimizeTradeoff:
+    def test_fixed_point_is_gibbs(self, setup):
+        source, risks, datasets, grid = setup
+        result = minimize_tradeoff(
+            source, risks, epsilon=2.0,
+            dataset_labels=datasets, theta_labels=grid.thetas,
+        )
+        assert result.converged
+        assert result.gibbs_deviation < 1e-7
+
+    def test_objective_below_all_competitors(self, setup):
+        source, risks, _, _ = setup
+        epsilon = 1.5
+        result = minimize_tradeoff(source, risks, epsilon)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            channel = rng.dirichlet(np.ones(risks.shape[1]), size=risks.shape[0])
+            assert result.objective <= tradeoff_objective(
+                channel, source, risks, epsilon
+            ) + 1e-9
+
+    def test_optimal_prior_is_output_marginal(self, setup):
+        source, risks, datasets, grid = setup
+        result = minimize_tradeoff(
+            source, risks, 1.0, dataset_labels=datasets, theta_labels=grid.thetas
+        )
+        marginal = result.channel.output_distribution(
+            list(source)
+        )
+        assert result.optimal_prior.probabilities == pytest.approx(
+            marginal.probabilities
+        )
+
+    def test_labels_propagate(self, setup):
+        source, risks, datasets, grid = setup
+        result = minimize_tradeoff(
+            source, risks, 1.0, dataset_labels=datasets, theta_labels=grid.thetas
+        )
+        assert result.channel.input_alphabet == tuple(datasets)
+        assert result.channel.output_alphabet == tuple(grid.thetas)
+
+    def test_rejects_bad_labels(self, setup):
+        source, risks, _, _ = setup
+        with pytest.raises(ValidationError):
+            minimize_tradeoff(source, risks, 1.0, dataset_labels=["only-one"])
+
+
+class TestTradeoffCurve:
+    def test_monotone_shape(self, setup):
+        """The paper's qualitative Figure-1 claim: information increases and
+        risk decreases as ε grows."""
+        source, risks, _, _ = setup
+        epsilons = [0.1, 0.5, 2.0, 8.0, 32.0]
+        points = tradeoff_curve(source, risks, epsilons)
+        infos = [pt.mutual_information for pt in points]
+        losses = [pt.expected_empirical_risk for pt in points]
+        assert all(a <= b + 1e-9 for a, b in zip(infos, infos[1:]))
+        assert all(a >= b - 1e-9 for a, b in zip(losses, losses[1:]))
+
+    def test_small_epsilon_releases_nothing(self, setup):
+        source, risks, _, _ = setup
+        point = tradeoff_curve(source, risks, [1e-4])[0]
+        assert point.mutual_information < 1e-6
+
+    def test_large_epsilon_approaches_erm_risk(self, setup):
+        source, risks, _, _ = setup
+        point = tradeoff_curve(source, risks, [1e4])[0]
+        erm_risk = float(source @ risks.min(axis=1))
+        assert point.expected_empirical_risk == pytest.approx(erm_risk, abs=1e-3)
+
+    def test_rejects_empty_sweep(self, setup):
+        source, risks, _, _ = setup
+        with pytest.raises(ValidationError):
+            tradeoff_curve(source, risks, [])

@@ -1,0 +1,119 @@
+"""Unit tests for the continuous noise laws."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import GammaNormVector, GaussianNoise, LaplaceNoise
+from repro.exceptions import ValidationError
+
+
+class TestLaplaceNoise:
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValidationError):
+            LaplaceNoise(0.0)
+
+    def test_log_density_at_zero(self):
+        noise = LaplaceNoise(scale=2.0)
+        assert noise.log_density(0.0) == pytest.approx(-np.log(4.0))
+
+    def test_log_density_symmetric(self):
+        noise = LaplaceNoise(scale=1.5)
+        assert noise.log_density(3.0) == pytest.approx(noise.log_density(-3.0))
+
+    def test_density_integrates_to_one(self):
+        noise = LaplaceNoise(scale=0.7)
+        xs = np.linspace(-30, 30, 200_001)
+        densities = np.exp(noise.log_density(xs))
+        assert np.trapezoid(densities, xs) == pytest.approx(1.0, abs=1e-6)
+
+    def test_variance_matches_samples(self):
+        noise = LaplaceNoise(scale=1.0)
+        draws = noise.sample(size=200_000, random_state=0)
+        assert np.var(draws) == pytest.approx(noise.variance(), rel=0.05)
+
+    def test_cdf_endpoints(self):
+        noise = LaplaceNoise(scale=1.0)
+        assert noise.cdf(0.0) == pytest.approx(0.5)
+        assert noise.cdf(-50.0) == pytest.approx(0.0, abs=1e-12)
+        assert noise.cdf(50.0) == pytest.approx(1.0, abs=1e-12)
+
+    def test_log_density_ratio_is_lipschitz_in_shift(self):
+        # The ε-DP property of the Laplace mechanism is exactly:
+        # |log f(x - a) - log f(x - b)| <= |a - b| / scale.
+        noise = LaplaceNoise(scale=2.0)
+        xs = np.linspace(-5, 5, 101)
+        ratio = noise.log_density(xs - 0.7) - noise.log_density(xs)
+        assert np.abs(ratio).max() <= 0.7 / 2.0 + 1e-12
+
+
+class TestGaussianNoise:
+    def test_log_density_is_normal(self):
+        noise = GaussianNoise(sigma=2.0)
+        expected = -0.5 * np.log(2 * np.pi * 4.0)
+        assert noise.log_density(0.0) == pytest.approx(expected)
+
+    def test_variance(self):
+        assert GaussianNoise(sigma=3.0).variance() == pytest.approx(9.0)
+
+    def test_sample_moments(self):
+        draws = GaussianNoise(sigma=1.0).sample(size=100_000, random_state=1)
+        assert np.mean(draws) == pytest.approx(0.0, abs=0.02)
+        assert np.std(draws) == pytest.approx(1.0, rel=0.02)
+
+
+class TestGammaNormVector:
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValidationError):
+            GammaNormVector(dimension=0, scale=1.0)
+
+    def test_sample_shape(self):
+        noise = GammaNormVector(dimension=3, scale=1.0)
+        single = noise.sample(random_state=0)
+        batch = noise.sample(size=5, random_state=0)
+        assert single.shape == (3,)
+        assert batch.shape == (5, 3)
+
+    def test_norm_is_gamma_distributed(self):
+        d, scale = 4, 0.5
+        noise = GammaNormVector(dimension=d, scale=scale)
+        draws = noise.sample(size=100_000, random_state=2)
+        norms = np.linalg.norm(draws, axis=1)
+        # Gamma(d, scale): mean d*scale, variance d*scale^2.
+        assert norms.mean() == pytest.approx(d * scale, rel=0.02)
+        assert norms.var() == pytest.approx(d * scale**2, rel=0.05)
+
+    def test_direction_is_isotropic(self):
+        noise = GammaNormVector(dimension=2, scale=1.0)
+        draws = noise.sample(size=100_000, random_state=3)
+        assert np.abs(draws.mean(axis=0)).max() < 0.02
+
+    def test_log_density_depends_only_on_norm(self):
+        noise = GammaNormVector(dimension=3, scale=1.0)
+        a = noise.log_density(np.array([1.0, 0.0, 0.0]))
+        b = noise.log_density(np.array([0.0, 0.0, -1.0]))
+        assert a == pytest.approx(b)
+
+    def test_log_density_ratio_matches_norm_gap(self):
+        # The ε-DP property of the vector mechanism: density ratio between
+        # shifts a and b is exp((||b|| - ||a||)/scale) <= exp(||a - b||/scale).
+        noise = GammaNormVector(dimension=2, scale=2.0)
+        v = np.array([0.3, -0.4])
+        w = np.array([1.3, -0.4])
+        gap = noise.log_density(v) - noise.log_density(w)
+        expected = (np.linalg.norm(w) - np.linalg.norm(v)) / 2.0
+        assert gap == pytest.approx(expected)
+
+    def test_log_density_rejects_wrong_dimension(self):
+        noise = GammaNormVector(dimension=3, scale=1.0)
+        with pytest.raises(ValidationError):
+            noise.log_density(np.array([1.0, 2.0]))
+
+    def test_density_normalized_in_2d(self):
+        # Integrate C * exp(-r/scale) over R^2 in polar coordinates.
+        noise = GammaNormVector(dimension=2, scale=0.8)
+        rs = np.linspace(1e-9, 40, 400_001)
+        log_dens = noise.log_density(
+            np.stack([rs, np.zeros_like(rs)], axis=1)
+        )
+        integrand = np.exp(log_dens) * 2 * np.pi * rs
+        assert np.trapezoid(integrand, rs) == pytest.approx(1.0, abs=1e-4)

@@ -1,0 +1,209 @@
+"""Unit + property tests for DiscreteDistribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distributions import DiscreteDistribution
+from repro.exceptions import SupportMismatchError, ValidationError
+
+
+def simplex(size: int):
+    """Hypothesis strategy for a probability vector of the given size."""
+    return st.lists(
+        st.floats(1e-6, 1.0), min_size=size, max_size=size
+    ).map(lambda ws: [w / sum(ws) for w in ws])
+
+
+class TestConstruction:
+    def test_basic(self):
+        dist = DiscreteDistribution(["a", "b"], [0.3, 0.7])
+        assert dist.probability_of("a") == pytest.approx(0.3)
+        assert len(dist) == 2
+
+    def test_rejects_empty_support(self):
+        with pytest.raises(ValidationError):
+            DiscreteDistribution([], [])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            DiscreteDistribution(["a"], [0.5, 0.5])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError):
+            DiscreteDistribution(["a", "a"], [0.5, 0.5])
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValidationError):
+            DiscreteDistribution(["a", "b"], [0.5, 0.6])
+
+    def test_probabilities_read_only(self):
+        dist = DiscreteDistribution(["a", "b"], [0.3, 0.7])
+        with pytest.raises(ValueError):
+            dist.probabilities[0] = 0.9
+
+    def test_uniform(self):
+        dist = DiscreteDistribution.uniform(range(4))
+        assert dist.probabilities == pytest.approx([0.25] * 4)
+
+    def test_point_mass(self):
+        dist = DiscreteDistribution.point_mass(["a", "b", "c"], "b")
+        assert dist.probability_of("b") == 1.0
+        assert dist.entropy() == pytest.approx(0.0)
+
+    def test_point_mass_outside_support(self):
+        with pytest.raises(ValidationError):
+            DiscreteDistribution.point_mass(["a"], "z")
+
+    def test_from_log_weights(self):
+        dist = DiscreteDistribution.from_log_weights(["a", "b"], [0.0, np.log(3.0)])
+        assert dist.probabilities == pytest.approx([0.25, 0.75])
+
+    def test_from_log_weights_extreme(self):
+        dist = DiscreteDistribution.from_log_weights([0, 1], [-2000.0, 0.0])
+        assert dist.probability_of(1) == pytest.approx(1.0)
+
+    def test_from_counts(self):
+        dist = DiscreteDistribution.from_counts(["x", "y"], [1, 3])
+        assert dist.probability_of("y") == pytest.approx(0.75)
+
+    def test_from_counts_all_zero(self):
+        with pytest.raises(ValidationError):
+            DiscreteDistribution.from_counts(["x"], [0])
+
+    def test_from_samples(self):
+        dist = DiscreteDistribution.from_samples("aab")
+        assert dist.probability_of("a") == pytest.approx(2 / 3)
+
+
+class TestQueries:
+    def test_outside_support_is_zero(self):
+        dist = DiscreteDistribution(["a"], [1.0])
+        assert dist.probability_of("z") == 0.0
+
+    def test_expectation_identity(self):
+        dist = DiscreteDistribution([0.0, 1.0], [0.25, 0.75])
+        assert dist.expectation() == pytest.approx(0.75)
+
+    def test_expectation_of_function(self):
+        dist = DiscreteDistribution([0, 1], [0.5, 0.5])
+        assert dist.expectation(lambda z: z * 10) == pytest.approx(5.0)
+
+    def test_variance(self):
+        dist = DiscreteDistribution([0.0, 1.0], [0.5, 0.5])
+        assert dist.variance() == pytest.approx(0.25)
+
+    def test_entropy_uniform_is_log_k(self):
+        dist = DiscreteDistribution.uniform(range(8))
+        assert dist.entropy() == pytest.approx(np.log(8))
+
+    def test_mode(self):
+        dist = DiscreteDistribution(["a", "b"], [0.2, 0.8])
+        assert dist.mode() == "b"
+
+
+class TestOperations:
+    def test_map_merges_collisions(self):
+        dist = DiscreteDistribution([-1, 0, 1], [0.2, 0.3, 0.5])
+        image = dist.map(abs)
+        assert image.probability_of(1) == pytest.approx(0.7)
+        assert image.probability_of(0) == pytest.approx(0.3)
+
+    def test_condition(self):
+        dist = DiscreteDistribution([1, 2, 3, 4], [0.1, 0.2, 0.3, 0.4])
+        even = dist.condition(lambda z: z % 2 == 0)
+        assert even.probability_of(2) == pytest.approx(0.2 / 0.6)
+
+    def test_condition_on_null_event(self):
+        dist = DiscreteDistribution([1], [1.0])
+        with pytest.raises(ValidationError):
+            dist.condition(lambda z: z > 10)
+
+    def test_product(self):
+        a = DiscreteDistribution([0, 1], [0.5, 0.5])
+        b = DiscreteDistribution(["x"], [1.0])
+        prod = a.product(b)
+        assert prod.probability_of((0, "x")) == pytest.approx(0.5)
+
+    def test_power_support_size(self):
+        dist = DiscreteDistribution([0, 1], [0.3, 0.7])
+        cubed = dist.power(3)
+        assert len(cubed) == 8
+        assert cubed.probability_of((1, 1, 1)) == pytest.approx(0.7**3)
+
+    def test_power_one(self):
+        dist = DiscreteDistribution([0, 1], [0.3, 0.7])
+        single = dist.power(1)
+        assert single.probability_of((1,)) == pytest.approx(0.7)
+
+    def test_power_entropy_is_n_times(self):
+        dist = DiscreteDistribution([0, 1], [0.3, 0.7])
+        assert dist.power(3).entropy() == pytest.approx(3 * dist.entropy())
+
+    def test_mix(self):
+        a = DiscreteDistribution([0, 1], [1.0, 0.0])
+        b = DiscreteDistribution([0, 1], [0.0, 1.0])
+        mixed = a.mix(b, 0.25)
+        assert mixed.probabilities == pytest.approx([0.25, 0.75])
+
+    def test_mix_requires_same_support(self):
+        a = DiscreteDistribution([0, 1], [0.5, 0.5])
+        b = DiscreteDistribution([0, 2], [0.5, 0.5])
+        with pytest.raises(SupportMismatchError):
+            a.mix(b, 0.5)
+
+    def test_tilt_is_exponential_reweighting(self):
+        dist = DiscreteDistribution([0, 1], [0.5, 0.5])
+        tilted = dist.tilt(np.log([1.0, 3.0]))
+        assert tilted.probabilities == pytest.approx([0.25, 0.75])
+
+    def test_tilt_with_zero_factors_is_identity(self):
+        dist = DiscreteDistribution([0, 1, 2], [0.2, 0.3, 0.5])
+        assert dist.tilt([0.0, 0.0, 0.0]).probabilities == pytest.approx(
+            dist.probabilities
+        )
+
+    def test_total_variation(self):
+        a = DiscreteDistribution([0, 1], [1.0, 0.0])
+        b = DiscreteDistribution([0, 1], [0.0, 1.0])
+        assert a.total_variation_distance(b) == pytest.approx(1.0)
+
+    def test_sample_reproducible(self):
+        dist = DiscreteDistribution(["a", "b"], [0.5, 0.5])
+        first = dist.sample(size=10, random_state=0)
+        second = dist.sample(size=10, random_state=0)
+        assert first == second
+
+    def test_sample_single(self):
+        dist = DiscreteDistribution(["only"], [1.0])
+        assert dist.sample(random_state=0) == "only"
+
+    def test_sample_frequencies(self):
+        dist = DiscreteDistribution([0, 1], [0.2, 0.8])
+        draws = dist.sample(size=5000, random_state=1)
+        assert np.mean(draws) == pytest.approx(0.8, abs=0.03)
+
+
+class TestProperties:
+    @given(simplex(4))
+    def test_entropy_nonnegative_and_bounded(self, probs):
+        dist = DiscreteDistribution(range(4), probs)
+        assert 0.0 <= dist.entropy() <= np.log(4) + 1e-9
+
+    @given(simplex(3), simplex(3))
+    def test_tv_is_metric_like(self, p, q):
+        a = DiscreteDistribution(range(3), p)
+        b = DiscreteDistribution(range(3), q)
+        tv = a.total_variation_distance(b)
+        assert 0.0 <= tv <= 1.0 + 1e-12
+        assert tv == pytest.approx(b.total_variation_distance(a))
+
+    @given(simplex(3))
+    def test_tilt_then_untilt_roundtrips(self, probs):
+        dist = DiscreteDistribution(range(3), probs)
+        factors = np.array([0.5, -1.0, 2.0])
+        roundtrip = dist.tilt(factors).tilt(-factors)
+        assert roundtrip.probabilities == pytest.approx(
+            dist.probabilities, abs=1e-10
+        )

@@ -1,0 +1,103 @@
+"""Unit tests for the samplers."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import MetropolisHastingsSampler, inverse_cdf_sample
+from repro.exceptions import ValidationError
+
+
+class TestInverseCdfSample:
+    def test_deterministic_mapping(self):
+        indices = inverse_cdf_sample([0.2, 0.3, 0.5], [0.1, 0.25, 0.95])
+        assert list(indices) == [0, 1, 2]
+
+    def test_boundary_uniform_zero(self):
+        assert inverse_cdf_sample([0.5, 0.5], [0.0])[0] == 0
+
+    def test_boundary_uniform_one(self):
+        assert inverse_cdf_sample([0.5, 0.5], [1.0])[0] == 1
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValidationError):
+            inverse_cdf_sample([0.5, 0.6], [0.5])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            inverse_cdf_sample([-0.1, 1.1], [0.5])
+
+    def test_distribution_matches(self):
+        rng = np.random.default_rng(0)
+        uniforms = rng.uniform(size=100_000)
+        indices = inverse_cdf_sample([0.1, 0.9], uniforms)
+        assert np.mean(indices) == pytest.approx(0.9, abs=0.01)
+
+
+class TestMetropolisHastings:
+    def test_standard_normal_target(self):
+        sampler = MetropolisHastingsSampler(
+            lambda x: -0.5 * float(x @ x), dimension=1, step_size=1.0
+        )
+        result = sampler.run(20_000, burn_in=2_000, random_state=0)
+        assert result.samples.shape == (20_000, 1)
+        assert result.samples.mean() == pytest.approx(0.0, abs=0.08)
+        assert result.samples.std() == pytest.approx(1.0, abs=0.08)
+
+    def test_acceptance_rate_reasonable(self):
+        sampler = MetropolisHastingsSampler(
+            lambda x: -0.5 * float(x @ x), dimension=1, step_size=1.0
+        )
+        result = sampler.run(5_000, burn_in=500, random_state=1)
+        assert 0.2 < result.acceptance_rate < 0.95
+
+    def test_reproducible(self):
+        sampler = MetropolisHastingsSampler(
+            lambda x: -0.5 * float(x @ x), dimension=2, step_size=0.5
+        )
+        a = sampler.run(100, burn_in=10, random_state=7)
+        b = sampler.run(100, burn_in=10, random_state=7)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_shifted_target_mean(self):
+        mu = np.array([2.0, -1.0])
+        sampler = MetropolisHastingsSampler(
+            lambda x: -0.5 * float((x - mu) @ (x - mu)),
+            dimension=2,
+            step_size=1.0,
+        )
+        result = sampler.run(30_000, burn_in=3_000, random_state=2)
+        assert result.samples.mean(axis=0) == pytest.approx(mu, abs=0.1)
+
+    def test_thinning_reduces_autocorrelation(self):
+        def log_density(x):
+            return -0.5 * float(x @ x)
+
+        sampler = MetropolisHastingsSampler(log_density, dimension=1, step_size=0.3)
+        unthinned = sampler.run(4_000, burn_in=500, thin=1, random_state=3)
+        thinned = sampler.run(4_000, burn_in=500, thin=10, random_state=3)
+
+        def lag1(samples):
+            x = samples[:, 0]
+            x = x - x.mean()
+            return float((x[:-1] * x[1:]).mean() / (x**2).mean())
+
+        assert lag1(thinned.samples) < lag1(unthinned.samples)
+
+    def test_rejects_bad_initial(self):
+        sampler = MetropolisHastingsSampler(lambda x: 0.0, dimension=2)
+        with pytest.raises(ValidationError):
+            sampler.run(10, initial=[1.0], random_state=0)
+
+    def test_rejects_nonfinite_initial_density(self):
+        sampler = MetropolisHastingsSampler(
+            lambda x: -np.inf, dimension=1
+        )
+        with pytest.raises(ValidationError):
+            sampler.run(10, random_state=0)
+
+    def test_rejects_bad_counts(self):
+        sampler = MetropolisHastingsSampler(lambda x: 0.0, dimension=1)
+        with pytest.raises(ValidationError):
+            sampler.run(0)
+        with pytest.raises(ValidationError):
+            sampler.run(10, thin=0)

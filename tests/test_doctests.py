@@ -1,0 +1,18 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES_WITH_DOCTESTS = [
+    "repro.learning.preprocessing",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES_WITH_DOCTESTS)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module_name} lists no doctests"
+    assert results.failed == 0

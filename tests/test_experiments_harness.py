@@ -1,0 +1,107 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments import ResultTable, ascii_curve, run_experiment, sweep
+
+
+class TestResultTable:
+    def test_render_aligns_columns(self):
+        table = ResultTable(["epsilon", "risk"], title="demo")
+        table.add_row(0.1, 0.51234)
+        table.add_row(10.0, 0.2)
+        text = table.render()
+        assert "demo" in text
+        assert "epsilon" in text
+        assert len(text.splitlines()) == 5
+
+    def test_named_rows(self):
+        table = ResultTable(["a", "b"])
+        table.add_row(b=2, a=1)
+        assert table.column("a") == ["1"]
+        assert table.column("b") == ["2"]
+
+    def test_named_rows_missing_column(self):
+        table = ResultTable(["a", "b"])
+        with pytest.raises(ValidationError):
+            table.add_row(a=1)
+
+    def test_mixed_call_rejected(self):
+        table = ResultTable(["a"])
+        with pytest.raises(ValidationError):
+            table.add_row(1, a=1)
+
+    def test_float_formatting(self):
+        table = ResultTable(["x"])
+        table.add_row(1.23456789e-7)
+        assert "e-07" in table.column("x")[0]
+
+    def test_bool_formatting(self):
+        table = ResultTable(["ok"])
+        table.add_row(True)
+        assert table.column("ok") == ["yes"]
+
+    def test_wrong_width_rejected(self):
+        table = ResultTable(["a", "b"])
+        with pytest.raises(ValidationError):
+            table.add_row(1)
+
+    def test_unknown_column_lookup(self):
+        table = ResultTable(["a"])
+        with pytest.raises(ValidationError):
+            table.column("z")
+
+
+class TestAsciiCurve:
+    def test_contains_points_and_labels(self):
+        text = ascii_curve(
+            [1, 2, 3], [1, 4, 9], title="squares", x_label="n", y_label="n^2"
+        )
+        assert "squares" in text
+        assert "*" in text
+        assert "n^2" in text
+
+    def test_constant_series_ok(self):
+        text = ascii_curve([1, 2], [5, 5])
+        assert "*" in text
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            ascii_curve([1, 2], [1])
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValidationError):
+            ascii_curve([1, 2], [1, 2], width=2)
+
+
+class TestRunner:
+    def test_run_experiment_wraps_output(self):
+        result = run_experiment("double", lambda x: {"y": 2 * x}, x=3)
+        assert result.outputs == {"y": 6}
+        assert result.parameters == {"x": 3}
+        assert result.seconds >= 0
+        assert "double" in str(result)
+
+    def test_run_experiment_rejects_non_mapping(self):
+        with pytest.raises(ValidationError):
+            run_experiment("bad", lambda: 42)
+
+    def test_sweep_cartesian_product(self):
+        results = sweep(
+            "add",
+            lambda a, b, c: {"s": a + b + c},
+            grid={"a": [1, 2], "b": [10, 20]},
+            c=100,
+        )
+        assert len(results) == 4
+        sums = sorted(r.outputs["s"] for r in results)
+        assert sums == [111, 121, 112, 122] or sums == sorted([111, 121, 112, 122])
+
+    def test_sweep_rejects_overlap(self):
+        with pytest.raises(ValidationError):
+            sweep("x", lambda a: {"a": a}, grid={"a": [1]}, a=2)
+
+    def test_sweep_rejects_empty_grid(self):
+        with pytest.raises(ValidationError):
+            sweep("x", lambda: {}, grid={})

@@ -1,0 +1,173 @@
+"""Failure-injection tests: broken inputs must be *detected*, not absorbed.
+
+Each test plants a specific defect — an understated sensitivity, a
+miscalibrated temperature, an exhausted iteration budget — and asserts the
+library surfaces it (a flagged audit, a raised exception, a ``converged``
+flag), because silent acceptance of any of these would void the privacy
+or correctness story.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GibbsEstimator, GibbsPosterior
+from repro.distributions import DiscreteDistribution
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.learning import BernoulliTask, PredictorGrid, gradient_descent
+from repro.mechanisms import ExponentialMechanism
+from repro.privacy import ExactPrivacyAuditor
+
+
+class TestUnderstatedSensitivity:
+    def test_exponential_mechanism_flagged(self):
+        """Declaring Δq = 0.2 when the true sensitivity is 1 makes the
+        mechanism leak more than its claimed ε; the exact auditor must
+        catch it."""
+        mech = ExponentialMechanism(
+            lambda d, u: float(sum(d) == u),  # true sensitivity 1
+            outputs=range(4),
+            sensitivity=0.2,  # lie
+            epsilon=0.5,
+        )
+        report = ExactPrivacyAuditor(mech.output_distribution).audit(
+            [0, 1], n=3, claimed_epsilon=mech.epsilon
+        )
+        assert not report.satisfied
+        assert report.measured_epsilon > mech.epsilon
+
+    def test_honest_sensitivity_passes(self):
+        mech = ExponentialMechanism(
+            lambda d, u: float(sum(d) == u),
+            outputs=range(4),
+            sensitivity=1.0,
+            epsilon=0.5,
+        )
+        report = ExactPrivacyAuditor(mech.output_distribution).audit(
+            [0, 1], n=3, claimed_epsilon=mech.epsilon
+        )
+        assert report.satisfied
+
+
+class TestMiscalibratedTemperature:
+    def test_overheated_gibbs_flagged(self):
+        """Running the Gibbs posterior at 10× the calibrated temperature
+        while still claiming the target ε must fail the audit."""
+        task = BernoulliTask(p=0.7)
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 5)
+        target_epsilon = 0.5
+        n = 2
+        honest = GibbsEstimator.from_privacy(grid, target_epsilon, n)
+        overheated = GibbsPosterior(grid, honest.temperature * 10)
+        report = ExactPrivacyAuditor(overheated.posterior).audit(
+            [0, 1], n, claimed_epsilon=target_epsilon
+        )
+        assert not report.satisfied
+
+    def test_wrong_sample_size_rejected_not_silently_leaking(self):
+        """Feeding a smaller sample than the calibration assumed would
+        silently weaken privacy; the estimator refuses instead."""
+        task = BernoulliTask(p=0.7)
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 5)
+        estimator = GibbsEstimator.from_privacy(grid, 1.0, 100)
+        with pytest.raises(ValidationError, match="calibrated"):
+            estimator.release([1] * 10, random_state=0)
+
+
+class TestLossBoundViolations:
+    def test_out_of_bounds_loss_detected_at_use(self):
+        """A loss escaping its declared bounds breaks the sensitivity
+        analysis; the grid validates every evaluation."""
+        grid = PredictorGrid(
+            [0.0, 1.0],
+            lambda theta, z: 3.0 * abs(theta - z),  # range [0, 3], not [0, 1]
+            loss_bounds=(0.0, 1.0),
+        )
+        with pytest.raises(ValidationError, match="bounds"):
+            grid.empirical_risks([1])
+
+
+class TestIterationBudgets:
+    def test_gradient_descent_raises_when_asked(self):
+        # Rosenbrock-like narrow valley; 2 iterations cannot converge.
+        def objective(x):
+            return float(100 * (x[1] - x[0] ** 2) ** 2 + (1 - x[0]) ** 2)
+
+        def gradient(x):
+            return np.array(
+                [
+                    -400 * x[0] * (x[1] - x[0] ** 2) - 2 * (1 - x[0]),
+                    200 * (x[1] - x[0] ** 2),
+                ]
+            )
+
+        with pytest.raises(ConvergenceError):
+            gradient_descent(
+                objective,
+                gradient,
+                np.array([-1.5, 2.0]),
+                max_iterations=2,
+                tol=1e-12,
+                raise_on_failure=True,
+            )
+
+    def test_rate_distortion_flag_and_raise(self):
+        from repro.information import rate_distortion
+
+        rng = np.random.default_rng(0)
+        d = rng.uniform(size=(6, 6))
+        starved = rate_distortion(
+            np.full(6, 1 / 6), d, beta=1.0, max_iterations=1, tol=0.0
+        )
+        assert not starved.converged
+        with pytest.raises(ConvergenceError):
+            rate_distortion(
+                np.full(6, 1 / 6),
+                d,
+                beta=1.0,
+                max_iterations=1,
+                tol=0.0,
+                raise_on_failure=True,
+            )
+
+
+class TestAuditorInputValidation:
+    def test_inconsistent_output_supports_rejected(self):
+        """A mechanism whose output support depends on the data leaks
+        through the support itself; the exact auditor refuses to compare."""
+
+        def law(dataset):
+            if sum(dataset) > 0:
+                return DiscreteDistribution(["a", "b"], [0.5, 0.5])
+            return DiscreteDistribution(["a", "c"], [0.5, 0.5])
+
+        auditor = ExactPrivacyAuditor(law)
+        with pytest.raises(ValidationError, match="support"):
+            auditor.audit([0, 1], n=1)
+
+
+class TestNumericalEdges:
+    def test_gibbs_with_identical_risks_is_exactly_prior(self):
+        """Constant risk: the tilt must cancel exactly, leaving the prior
+        (a regression guard against drift in the log-domain path)."""
+        grid = PredictorGrid([0.0, 0.5, 1.0], lambda t, z: 0.5)
+        prior = DiscreteDistribution(grid.thetas, [0.2, 0.3, 0.5])
+        gibbs = GibbsPosterior(grid, temperature=1e6, prior=prior)
+        posterior = gibbs.posterior([1, 2, 3])
+        assert posterior.probabilities == pytest.approx(
+            prior.probabilities, abs=1e-10
+        )
+
+    def test_extreme_epsilon_calibration_finite(self):
+        task = BernoulliTask(p=0.5)
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 3)
+        estimator = GibbsEstimator.from_privacy(grid, 1e6, 10)
+        dist = estimator.output_distribution([1] * 10)
+        assert np.isfinite(dist.probabilities).all()
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+
+    def test_tiny_epsilon_calibration_finite(self):
+        task = BernoulliTask(p=0.5)
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 3)
+        estimator = GibbsEstimator.from_privacy(grid, 1e-9, 10)
+        dist = estimator.output_distribution([1] * 10)
+        assert dist.entropy() == pytest.approx(np.log(3), abs=1e-6)

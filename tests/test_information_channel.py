@@ -1,0 +1,115 @@
+"""Unit tests for DiscreteChannel."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import DiscreteDistribution
+from repro.exceptions import SupportMismatchError, ValidationError
+from repro.information import DiscreteChannel
+
+
+@pytest.fixture
+def bsc() -> DiscreteChannel:
+    """Binary symmetric channel with flip probability 0.1."""
+    return DiscreteChannel([0, 1], [0, 1], [[0.9, 0.1], [0.1, 0.9]])
+
+
+class TestConstruction:
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValidationError):
+            DiscreteChannel([0, 1], [0, 1], [[0.5, 0.5]])
+
+    def test_rejects_nonstochastic_rows(self):
+        with pytest.raises(ValidationError):
+            DiscreteChannel([0], [0, 1], [[0.5, 0.6]])
+
+    def test_rejects_duplicate_inputs(self):
+        with pytest.raises(ValidationError):
+            DiscreteChannel([0, 0], [0, 1], [[0.5, 0.5], [0.5, 0.5]])
+
+    def test_from_conditionals(self):
+        conditionals = {
+            "a": DiscreteDistribution(["x", "y"], [0.7, 0.3]),
+            "b": DiscreteDistribution(["x", "y"], [0.2, 0.8]),
+        }
+        channel = DiscreteChannel.from_conditionals(conditionals)
+        assert channel.conditional("a").probability_of("x") == pytest.approx(0.7)
+
+    def test_from_conditionals_rejects_mismatched_supports(self):
+        conditionals = {
+            "a": DiscreteDistribution(["x"], [1.0]),
+            "b": DiscreteDistribution(["y"], [1.0]),
+        }
+        with pytest.raises(SupportMismatchError):
+            DiscreteChannel.from_conditionals(conditionals)
+
+
+class TestQuantities:
+    def test_joint_sums_to_one(self, bsc):
+        joint = bsc.joint([0.5, 0.5])
+        assert joint.sum() == pytest.approx(1.0)
+
+    def test_output_distribution(self, bsc):
+        out = bsc.output_distribution([1.0, 0.0])
+        assert out.probability_of(0) == pytest.approx(0.9)
+
+    def test_mutual_information_bsc_closed_form(self, bsc):
+        f = 0.1
+        expected = np.log(2) + f * np.log(f) + (1 - f) * np.log(1 - f)
+        assert bsc.mutual_information([0.5, 0.5]) == pytest.approx(expected)
+
+    def test_mutual_information_zero_for_useless_channel(self):
+        channel = DiscreteChannel([0, 1], [0, 1], [[0.5, 0.5], [0.5, 0.5]])
+        assert channel.mutual_information([0.3, 0.7]) == pytest.approx(0.0)
+
+    def test_posterior_bayes_rule(self, bsc):
+        # P(X=0 | Y=0) with uniform input = 0.9 by symmetry.
+        post = bsc.posterior([0.5, 0.5], 0)
+        assert post.probability_of(0) == pytest.approx(0.9)
+
+    def test_posterior_rejects_zero_probability_output(self):
+        channel = DiscreteChannel([0], [0, 1], [[1.0, 0.0]])
+        with pytest.raises(ValidationError):
+            channel.posterior([1.0], 1)
+
+    def test_input_distribution_support_check(self, bsc):
+        wrong = DiscreteDistribution(["a", "b"], [0.5, 0.5])
+        with pytest.raises(SupportMismatchError):
+            bsc.joint(wrong)
+
+    def test_accepts_discrete_distribution_input(self, bsc):
+        dist = DiscreteDistribution((0, 1), [0.5, 0.5])
+        assert bsc.mutual_information(dist) > 0
+
+
+class TestComposition:
+    def test_cascade_matrix_is_product(self, bsc):
+        cascade = bsc.compose(bsc)
+        expected = bsc.matrix @ bsc.matrix
+        assert cascade.matrix == pytest.approx(expected)
+
+    def test_data_processing_inequality(self, bsc):
+        # Post-processing through a second channel cannot increase MI.
+        cascade = bsc.compose(bsc)
+        source = [0.3, 0.7]
+        assert cascade.mutual_information(source) <= bsc.mutual_information(
+            source
+        ) + 1e-12
+
+    def test_compose_requires_matching_alphabets(self, bsc):
+        other = DiscreteChannel(["x"], ["y"], [[1.0]])
+        with pytest.raises(SupportMismatchError):
+            bsc.compose(other)
+
+
+class TestMaxLogRatio:
+    def test_bsc_value(self, bsc):
+        assert bsc.max_log_ratio() == pytest.approx(np.log(9.0))
+
+    def test_identical_rows_give_zero(self):
+        channel = DiscreteChannel([0, 1], [0, 1], [[0.5, 0.5], [0.5, 0.5]])
+        assert channel.max_log_ratio() == pytest.approx(0.0)
+
+    def test_partial_support_is_infinite(self):
+        channel = DiscreteChannel([0, 1], [0, 1], [[1.0, 0.0], [0.5, 0.5]])
+        assert channel.max_log_ratio() == np.inf

@@ -1,0 +1,112 @@
+"""Unit tests for Fano lower bounds."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import DiscreteDistribution
+from repro.exceptions import ValidationError
+from repro.information import DiscreteChannel
+from repro.information.fano import (
+    bayes_identification_error,
+    dp_identification_lower_bound,
+    fano_error_lower_bound,
+    verify_fano,
+)
+
+
+class TestFanoBound:
+    def test_zero_information_forces_near_chance(self):
+        assert fano_error_lower_bound(0.0, 16) == pytest.approx(
+            1.0 - np.log(2) / np.log(16)
+        )
+
+    def test_enough_information_makes_bound_vacuous(self):
+        assert fano_error_lower_bound(10.0, 4) == 0.0
+
+    def test_monotone_in_information(self):
+        bounds = [fano_error_lower_bound(i, 32) for i in [0.0, 0.5, 1.0, 2.0]]
+        assert all(a >= b for a, b in zip(bounds, bounds[1:]))
+
+    def test_rejects_k_one(self):
+        with pytest.raises(ValidationError):
+            fano_error_lower_bound(0.5, 1)
+
+
+class TestDpLowerBound:
+    def test_small_epsilon_forces_error(self):
+        # ε = 0.01, n = 10, k = 1024: nε = 0.1 nats vs log k ≈ 6.9.
+        bound = dp_identification_lower_bound(0.01, 10, 1024)
+        assert bound > 0.8
+
+    def test_large_budget_vacuous(self):
+        assert dp_identification_lower_bound(1.0, 100, 4) == 0.0
+
+    def test_monotone_in_k(self):
+        small = dp_identification_lower_bound(0.05, 5, 8)
+        large = dp_identification_lower_bound(0.05, 5, 4096)
+        assert large >= small
+
+
+class TestBayesError:
+    def test_noiseless_channel_zero_error(self):
+        channel = DiscreteChannel(range(3), range(3), np.eye(3))
+        prior = DiscreteDistribution.uniform(range(3))
+        assert bayes_identification_error(channel, prior) == pytest.approx(0.0)
+
+    def test_useless_channel_chance_error(self):
+        channel = DiscreteChannel(
+            range(4), range(4), np.full((4, 4), 0.25)
+        )
+        prior = DiscreteDistribution.uniform(range(4))
+        assert bayes_identification_error(channel, prior) == pytest.approx(0.75)
+
+    def test_prior_support_checked(self):
+        channel = DiscreteChannel(range(3), range(3), np.eye(3))
+        prior = DiscreteDistribution.uniform(range(4))
+        with pytest.raises(ValidationError):
+            bayes_identification_error(channel, prior)
+
+
+class TestVerifyFano:
+    def test_holds_on_random_channels(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            matrix = rng.dirichlet(np.ones(5), size=6)
+            channel = DiscreteChannel(range(6), range(5), matrix)
+            prior = DiscreteDistribution(range(6), rng.dirichlet(np.ones(6)))
+            report = verify_fano(channel, prior)
+            assert report["holds"], report
+
+    def test_holds_on_gibbs_learning_channel(self):
+        """The secret-identification error of the paper's channel respects
+        Fano with the channel's exact mutual information."""
+        from repro.core import GibbsEstimator, LearningChannel
+        from repro.learning import BernoulliTask, PredictorGrid
+
+        task = BernoulliTask(p=0.5)  # uniform secret: Fano at full strength
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 5)
+        estimator = GibbsEstimator.from_privacy(grid, 1.0, expected_sample_size=3)
+        law = DiscreteDistribution([0, 1], [0.5, 0.5])
+        learning = LearningChannel(law, 3, estimator.gibbs.posterior)
+        report = verify_fano(learning.channel, learning.sample_law)
+        assert report["holds"]
+        # With ε = 1 on 8 equiprobable secrets the adversary stays near
+        # chance: error ≥ 0.5.
+        assert report["bayes_error"] > 0.5
+
+    def test_dp_chain_dominates_exact_fano(self):
+        """The a-priori DP lower bound never exceeds the exact-MI Fano
+        bound (it uses a looser information cap)."""
+        from repro.core import GibbsEstimator, LearningChannel
+        from repro.learning import BernoulliTask, PredictorGrid
+
+        task = BernoulliTask(p=0.5)
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 5)
+        n, epsilon = 3, 0.5
+        estimator = GibbsEstimator.from_privacy(grid, epsilon, expected_sample_size=n)
+        law = DiscreteDistribution([0, 1], [0.5, 0.5])
+        learning = LearningChannel(law, n, estimator.gibbs.posterior)
+        report = verify_fano(learning.channel, learning.sample_law)
+        chain = dp_identification_lower_bound(epsilon, n, k=2**n)
+        assert chain <= report["fano_bound"] + 1e-12
+        assert report["bayes_error"] >= chain - 1e-12

@@ -1,0 +1,121 @@
+"""Unit tests for the mutual information routes (exact, plug-in, KSG)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.information import (
+    mutual_information_from_joint,
+    mutual_information_histogram,
+    mutual_information_ksg,
+)
+
+
+class TestExactMI:
+    def test_independent_is_zero(self):
+        joint = np.outer([0.3, 0.7], [0.4, 0.6])
+        assert mutual_information_from_joint(joint) == pytest.approx(0.0)
+
+    def test_perfectly_correlated_is_entropy(self):
+        joint = np.diag([0.5, 0.5])
+        assert mutual_information_from_joint(joint) == pytest.approx(np.log(2))
+
+    def test_binary_symmetric_channel(self):
+        # X ~ Bern(1/2) through a BSC with flip probability f:
+        # I = log2 - H(f) in nats.
+        f = 0.1
+        joint = 0.5 * np.array([[1 - f, f], [f, 1 - f]])
+        expected = np.log(2) + f * np.log(f) + (1 - f) * np.log(1 - f)
+        assert mutual_information_from_joint(joint) == pytest.approx(expected)
+
+    def test_never_negative(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            joint = rng.dirichlet(np.ones(12)).reshape(3, 4)
+            assert mutual_information_from_joint(joint) >= 0.0
+
+    def test_bounded_by_marginal_entropies(self):
+        from repro.information import entropy
+
+        rng = np.random.default_rng(1)
+        joint = rng.dirichlet(np.ones(12)).reshape(3, 4)
+        mi = mutual_information_from_joint(joint)
+        assert mi <= entropy(joint.sum(axis=1)) + 1e-9
+        assert mi <= entropy(joint.sum(axis=0)) + 1e-9
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValidationError):
+            mutual_information_from_joint([[0.5, 0.5], [0.5, 0.5]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            mutual_information_from_joint([[1.2, -0.2], [0.0, 0.0]])
+
+
+class TestHistogramMI:
+    def test_identical_discrete_variables(self):
+        x = np.array([0, 1, 0, 1, 1, 0] * 100)
+        assert mutual_information_histogram(x, x) == pytest.approx(
+            np.log(2), abs=0.01
+        )
+
+    def test_independent_variables_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2, size=20_000)
+        y = rng.integers(0, 2, size=20_000)
+        assert mutual_information_histogram(x, y) < 0.001
+
+    def test_continuous_with_binning(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=20_000)
+        y = x + 0.1 * rng.normal(size=20_000)
+        mi = mutual_information_histogram(x, y, bins=20)
+        assert mi > 1.0  # strongly dependent
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            mutual_information_histogram([1, 2], [1])
+
+    def test_matches_exact_on_known_joint(self):
+        # Sample from a known joint and compare plug-in estimate to truth.
+        joint = np.array([[0.4, 0.1], [0.1, 0.4]])
+        exact = mutual_information_from_joint(joint)
+        rng = np.random.default_rng(2)
+        flat = joint.ravel()
+        draws = rng.choice(4, size=100_000, p=flat)
+        x, y = draws // 2, draws % 2
+        estimate = mutual_information_histogram(x, y)
+        assert estimate == pytest.approx(exact, abs=0.01)
+
+
+class TestKSG:
+    def test_independent_gaussians_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=2_000)
+        y = rng.normal(size=2_000)
+        assert mutual_information_ksg(x, y) < 0.05
+
+    def test_correlated_gaussians_match_closed_form(self):
+        # I(X;Y) = -0.5 log(1 - rho^2) for bivariate normal.
+        rho = 0.8
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=4_000)
+        y = rho * x + np.sqrt(1 - rho**2) * rng.normal(size=4_000)
+        expected = -0.5 * np.log(1 - rho**2)
+        assert mutual_information_ksg(x, y, k=4) == pytest.approx(
+            expected, abs=0.1
+        )
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValidationError):
+            mutual_information_ksg([1.0, 2.0], [1.0, 2.0], k=5)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            mutual_information_ksg([1.0, 2.0], [1.0])
+
+    def test_accepts_2d_inputs(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1_000, 2))
+        y = x[:, :1] + 0.5 * rng.normal(size=(1_000, 1))
+        assert mutual_information_ksg(x, y) > 0.2

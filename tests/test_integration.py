@@ -1,0 +1,150 @@
+"""Integration tests: full pipelines across modules, one per experiment."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BernoulliTask,
+    DiscreteDistribution,
+    ExactPrivacyAuditor,
+    GibbsEstimator,
+    GibbsPosterior,
+    LearningChannel,
+    PredictorGrid,
+    PrivacyAccountant,
+    PrivacySpec,
+    minimize_tradeoff,
+    tradeoff_curve,
+)
+from repro.learning import empirical_risk_matrix
+
+
+class TestEndToEndGibbsLearning:
+    """E1+E4 in miniature: train privately, audit exactly, measure leakage."""
+
+    def test_full_pipeline(self):
+        task = BernoulliTask(p=0.8)
+        n = 3
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 4)
+        estimator = GibbsEstimator.from_privacy(grid, epsilon=1.0, expected_sample_size=n)
+
+        # 1. Exact privacy audit over the whole {0,1}^3 universe.
+        auditor = ExactPrivacyAuditor(estimator.output_distribution)
+        audit = auditor.audit([0, 1], n=n, claimed_epsilon=1.0)
+        assert audit.satisfied
+
+        # 2. The same posterior map as an information channel.
+        law = DiscreteDistribution([0, 1], [0.2, 0.8])
+        channel = LearningChannel(law, n=n, posterior_map=estimator.gibbs.posterior)
+        summary = channel.leakage_summary()
+        assert summary["exact_privacy_loss"] <= 1.0 + 1e-12
+        assert summary["mutual_information"] <= summary["sample_entropy"]
+
+        # 3. Utility: released predictor beats the prior on true risk.
+        sample = list(task.sample(n, random_state=0))
+        posterior = estimator.output_distribution(sample)
+        posterior_risk = sum(p * task.true_risk(t) for t, p in posterior)
+        prior_risk = float(
+            np.mean([task.true_risk(t) for t in grid.thetas])
+        )
+        assert posterior_risk <= prior_risk + 1e-9
+
+    def test_budgeted_repeated_learning(self):
+        """Accountant + Gibbs releases: basic composition enforced."""
+        task = BernoulliTask(p=0.6)
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 5)
+        estimator = GibbsEstimator.from_privacy(grid, 0.4, expected_sample_size=20)
+        accountant = PrivacyAccountant(budget=PrivacySpec(1.0))
+        sample = list(task.sample(20, random_state=1))
+        released = [
+            accountant.run(estimator, sample, random_state=i) for i in range(2)
+        ]
+        assert all(theta in grid.thetas for theta in released)
+        from repro.exceptions import PrivacyBudgetError
+
+        with pytest.raises(PrivacyBudgetError):
+            accountant.run(estimator, sample, random_state=2)
+
+
+class TestTradeoffMatchesChannel:
+    """E5/E6: the variational optimum agrees with the direct Gibbs channel
+    built from its own optimal prior."""
+
+    def test_fixed_point_consistency(self):
+        task = BernoulliTask(p=0.7)
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 5)
+        datasets = [(a, b) for a in (0, 1) for b in (0, 1)]
+        risks = empirical_risk_matrix(
+            lambda t, z: abs(t - z), grid.thetas, [list(d) for d in datasets]
+        )
+        p = task.p
+        source = np.array([(1 - p) ** 2, (1 - p) * p, p * (1 - p), p**2])
+
+        epsilon = 2.0
+        result = minimize_tradeoff(
+            source, risks, epsilon, dataset_labels=datasets, theta_labels=grid.thetas
+        )
+
+        # Rebuild the Gibbs channel from the optimal prior and compare MI.
+        gibbs = GibbsPosterior(
+            grid, temperature=epsilon, prior=result.optimal_prior
+        )
+        law = DiscreteDistribution([0, 1], [1 - p, p])
+        channel = LearningChannel(law, n=2, posterior_map=gibbs.posterior)
+        assert channel.mutual_information() == pytest.approx(
+            result.mutual_information, abs=1e-6
+        )
+
+    def test_curve_brackets_extremes(self):
+        task = BernoulliTask(p=0.75)
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 5)
+        datasets = [(a, b) for a in (0, 1) for b in (0, 1)]
+        risks = empirical_risk_matrix(
+            lambda t, z: abs(t - z), grid.thetas, [list(d) for d in datasets]
+        )
+        p = task.p
+        source = np.array([(1 - p) ** 2, (1 - p) * p, p * (1 - p), p**2])
+        points = tradeoff_curve(source, risks, [1e-3, 1.0, 1e3])
+        # ε→0: no information; ε→∞: ERM risk.
+        assert points[0].mutual_information < 1e-5
+        erm_risk = float(source @ risks.min(axis=1))
+        assert points[-1].expected_empirical_risk == pytest.approx(
+            erm_risk, abs=1e-4
+        )
+
+
+class TestExponentialMechanismIsGibbs:
+    """Section 3's identification, end to end through the two code paths."""
+
+    def test_output_laws_identical(self):
+        from repro.mechanisms import ExponentialMechanism
+
+        task = BernoulliTask(p=0.7)
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 6)
+        sample = list(task.sample(10, random_state=3))
+        temperature = 4.0
+
+        gibbs = GibbsPosterior(grid, temperature)
+        gibbs_law = gibbs.posterior(sample)
+
+        # Exponential mechanism with quality = -R̂ and raw scale λ.
+        mech = ExponentialMechanism(
+            lambda d, u: -float(np.mean([abs(u - z) for z in d])),
+            outputs=grid.thetas,
+            sensitivity=1.0 / len(sample),
+            epsilon=temperature,
+            calibrated=False,
+        )
+        mech_law = mech.output_distribution(sample)
+        assert mech_law.probabilities == pytest.approx(
+            gibbs_law.probabilities, abs=1e-12
+        )
+
+    def test_privacy_guarantees_agree(self):
+        task = BernoulliTask(p=0.7)
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 6)
+        n, temperature = 10, 4.0
+        gibbs = GibbsPosterior(grid, temperature)
+        # Theorem 4.1: 2λΔ(R̂) with Δ(R̂) = 1/n; Theorem 2.5: 2εΔq with
+        # q = -R̂ so Δq = 1/n and ε = λ. Both give 2λ/n.
+        assert gibbs.privacy_epsilon(n) == pytest.approx(2 * temperature / n)

@@ -1,0 +1,137 @@
+"""Unit tests for the optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.learning import gradient_descent, newton_method
+
+
+def quadratic(center, scale=1.0):
+    """A strongly convex quadratic with a known minimizer."""
+    center = np.asarray(center, dtype=float)
+
+    def objective(x):
+        return 0.5 * scale * float((x - center) @ (x - center))
+
+    def gradient(x):
+        return scale * (x - center)
+
+    def hessian(x):
+        return scale * np.eye(center.size)
+
+    return objective, gradient, hessian
+
+
+class TestGradientDescent:
+    def test_finds_quadratic_minimum(self):
+        obj, grad, _ = quadratic([1.0, -2.0])
+        result = gradient_descent(obj, grad, np.zeros(2))
+        assert result.converged
+        assert result.x == pytest.approx([1.0, -2.0], abs=1e-6)
+
+    def test_ill_conditioned_quadratic(self):
+        scales = np.array([100.0, 1.0])
+
+        def obj(x):
+            return 0.5 * float(scales @ (x**2))
+
+        def grad(x):
+            return scales * x
+
+        result = gradient_descent(obj, grad, np.array([1.0, 1.0]), tol=1e-6)
+        assert result.x == pytest.approx([0.0, 0.0], abs=1e-5)
+
+    def test_monotone_objective(self):
+        # Each iterate cannot increase the objective (Armijo backtracking).
+        obj, grad, _ = quadratic([3.0])
+        values = []
+
+        def tracked(x):
+            value = obj(x)
+            values.append(value)
+            return value
+
+        gradient_descent(tracked, grad, np.array([0.0]), max_iterations=50)
+        accepted = sorted(set(values), reverse=True)
+        assert accepted[0] >= accepted[-1]
+
+    def test_rejects_2d_x0(self):
+        obj, grad, _ = quadratic([0.0])
+        with pytest.raises(ValidationError):
+            gradient_descent(obj, grad, np.zeros((2, 2)))
+
+    def test_reports_gradient_norm(self):
+        obj, grad, _ = quadratic([1.0])
+        result = gradient_descent(obj, grad, np.array([5.0]))
+        assert result.gradient_norm <= 1e-8
+
+    def test_logistic_objective(self):
+        # Mean logistic loss + ridge on a tiny dataset.
+        x = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, 0.5]])
+        y = np.array([1.0, -1.0, -1.0])
+        lam = 0.1
+
+        def obj(theta):
+            margins = y * (x @ theta)
+            return float(np.log1p(np.exp(-margins)).mean()) + 0.5 * lam * float(
+                theta @ theta
+            )
+
+        def grad(theta):
+            margins = y * (x @ theta)
+            sig = 1.0 / (1.0 + np.exp(margins))
+            return -(x.T @ (sig * y)) / len(y) + lam * theta
+
+        result = gradient_descent(obj, grad, np.zeros(2))
+        assert result.converged
+        assert np.linalg.norm(grad(result.x)) <= 1e-7
+
+
+class TestNewtonMethod:
+    def test_quadratic_in_one_step(self):
+        obj, grad, hess = quadratic([2.0, 3.0], scale=4.0)
+        result = newton_method(obj, grad, hess, np.zeros(2))
+        assert result.converged
+        assert result.iterations <= 3
+        assert result.x == pytest.approx([2.0, 3.0], abs=1e-9)
+
+    def test_matches_gradient_descent_solution(self):
+        x = np.array([[1.0, 0.2], [-0.5, 1.0], [0.3, -0.8]])
+        y = np.array([1.0, -1.0, 1.0])
+        lam = 0.5
+
+        def obj(theta):
+            margins = y * (x @ theta)
+            return float(np.log1p(np.exp(-margins)).mean()) + 0.5 * lam * float(
+                theta @ theta
+            )
+
+        def grad(theta):
+            margins = y * (x @ theta)
+            sig = 1.0 / (1.0 + np.exp(margins))
+            return -(x.T @ (sig * y)) / len(y) + lam * theta
+
+        def hess(theta):
+            margins = y * (x @ theta)
+            sig = 1.0 / (1.0 + np.exp(-margins))
+            w = sig * (1 - sig)
+            return (x.T @ (x * w[:, None])) / len(y) + lam * np.eye(2)
+
+        newton = newton_method(obj, grad, hess, np.zeros(2))
+        gd = gradient_descent(obj, grad, np.zeros(2), tol=1e-10)
+        assert newton.x == pytest.approx(gd.x, abs=1e-6)
+
+    def test_singular_hessian_falls_back(self):
+        # Hessian singular at the start: solver must still make progress.
+        def obj(x):
+            return float(x[0] ** 4 + x[0] ** 2)
+
+        def grad(x):
+            return np.array([4 * x[0] ** 3 + 2 * x[0]])
+
+        def hess(x):
+            return np.array([[12 * x[0] ** 2 + 2]])
+
+        result = newton_method(obj, grad, hess, np.array([1.0]))
+        assert abs(result.x[0]) < 1e-5

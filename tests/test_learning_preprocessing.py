@@ -1,0 +1,107 @@
+"""Unit tests for the preprocessing helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.learning.preprocessing import (
+    PublicScaler,
+    clip_to_unit_ball,
+    clip_values,
+    symmetrize_labels,
+)
+
+
+class TestClipToUnitBall:
+    def test_large_rows_projected(self):
+        x = np.array([[3.0, 4.0]])
+        out = clip_to_unit_ball(x)
+        assert np.linalg.norm(out[0]) == pytest.approx(1.0)
+        # Direction preserved.
+        assert out[0] == pytest.approx([0.6, 0.8])
+
+    def test_small_rows_untouched(self):
+        x = np.array([[0.1, 0.2]])
+        assert clip_to_unit_ball(x) == pytest.approx(x)
+
+    def test_custom_radius(self):
+        x = np.array([[10.0, 0.0]])
+        out = clip_to_unit_ball(x, radius=2.0)
+        assert np.linalg.norm(out[0]) == pytest.approx(2.0)
+
+    def test_zero_row_safe(self):
+        out = clip_to_unit_ball(np.zeros((1, 3)))
+        assert out == pytest.approx(np.zeros((1, 3)))
+
+    def test_recordwise_independence(self):
+        """Changing one row never changes another — the property that makes
+        clipping privacy-free preprocessing."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(5, 3)) * 3
+        base = clip_to_unit_ball(x)
+        x2 = x.copy()
+        x2[0] = rng.normal(size=3) * 10
+        other = clip_to_unit_ball(x2)
+        assert other[1:] == pytest.approx(base[1:])
+
+
+class TestClipValues:
+    def test_clips(self):
+        assert clip_values([-5.0, 0.5, 5.0], 0.0, 1.0).tolist() == [0.0, 0.5, 1.0]
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValidationError):
+            clip_values([0.0], 1.0, 0.0)
+
+
+class TestPublicScaler:
+    def test_maps_bounds_to_unit_interval(self):
+        scaler = PublicScaler(lower=[0.0], upper=[10.0])
+        out = scaler.transform([[0.0], [5.0], [10.0]])
+        assert out.ravel() == pytest.approx([-1.0, 0.0, 1.0])
+
+    def test_out_of_bounds_clipped(self):
+        scaler = PublicScaler(lower=[0.0], upper=[1.0])
+        assert scaler.transform([[99.0]])[0, 0] == pytest.approx(1.0)
+
+    def test_unit_ball_guarantee(self):
+        rng = np.random.default_rng(1)
+        scaler = PublicScaler(lower=[0.0, -5.0, 10.0], upper=[1.0, 5.0, 20.0])
+        x = rng.uniform(-10, 30, size=(200, 3))
+        out = scaler.transform_to_unit_ball(x)
+        assert np.linalg.norm(out, axis=1).max() <= 1.0 + 1e-12
+
+    def test_wrong_width_rejected(self):
+        scaler = PublicScaler(lower=[0.0], upper=[1.0])
+        with pytest.raises(ValidationError):
+            scaler.transform(np.zeros((2, 3)))
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValidationError):
+            PublicScaler(lower=[1.0], upper=[0.0])
+
+    def test_end_to_end_with_private_erm(self):
+        """Scaled data satisfies the private-ERM contract out of the box."""
+        from repro.learning import LogisticLoss
+        from repro.private_learning import OutputPerturbationClassifier
+
+        rng = np.random.default_rng(2)
+        raw = rng.uniform(0, 100, size=(150, 2))
+        y = np.where(raw[:, 0] > 50, 1, -1)
+        scaler = PublicScaler(lower=[0.0, 0.0], upper=[100.0, 100.0])
+        x = scaler.transform_to_unit_ball(raw)
+        clf = OutputPerturbationClassifier(LogisticLoss(), 0.05, epsilon=20.0)
+        clf.fit(x, y, random_state=3)
+        assert clf.accuracy(x, y) > 0.8
+
+
+class TestSymmetrizeLabels:
+    def test_zero_one_mapped(self):
+        assert symmetrize_labels([0, 1, 0]).tolist() == [-1, 1, -1]
+
+    def test_already_symmetric_untouched(self):
+        assert symmetrize_labels([-1, 1]).tolist() == [-1, 1]
+
+    def test_rejects_other_labels(self):
+        with pytest.raises(ValidationError):
+            symmetrize_labels([1, 2])

@@ -1,0 +1,58 @@
+"""Unit tests for PrivacySpec and the Mechanism interface."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mechanisms import Mechanism, PrivacySpec
+
+
+class TestPrivacySpec:
+    def test_pure_dp(self):
+        spec = PrivacySpec(epsilon=1.0)
+        assert spec.is_pure
+        assert str(spec) == "1-DP"
+
+    def test_approximate_dp(self):
+        spec = PrivacySpec(epsilon=0.5, delta=1e-6)
+        assert not spec.is_pure
+        assert "1e-06" in str(spec)
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValidationError):
+            PrivacySpec(epsilon=0.0)
+
+    def test_rejects_delta_out_of_range(self):
+        with pytest.raises(ValidationError):
+            PrivacySpec(epsilon=1.0, delta=1.5)
+
+    def test_compose_adds(self):
+        a = PrivacySpec(epsilon=1.0, delta=0.1)
+        b = PrivacySpec(epsilon=0.5, delta=0.2)
+        composed = a.compose(b)
+        assert composed.epsilon == pytest.approx(1.5)
+        assert composed.delta == pytest.approx(0.3)
+
+    def test_frozen(self):
+        spec = PrivacySpec(epsilon=1.0)
+        with pytest.raises(AttributeError):
+            spec.epsilon = 2.0
+
+
+class TestMechanism:
+    def test_exposes_privacy(self):
+        class Constant(Mechanism):
+            def release(self, dataset, random_state=None):
+                return 0
+
+        mech = Constant(PrivacySpec(epsilon=2.0, delta=0.01))
+        assert mech.epsilon == 2.0
+        assert mech.delta == 0.01
+        assert "Constant" in repr(mech)
+
+    def test_rejects_non_spec(self):
+        class Constant(Mechanism):
+            def release(self, dataset, random_state=None):
+                return 0
+
+        with pytest.raises(ValidationError):
+            Constant("1.0")

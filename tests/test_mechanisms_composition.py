@@ -1,0 +1,119 @@
+"""Unit tests for composition theorems and the accountant."""
+
+import pytest
+
+from repro.exceptions import PrivacyBudgetError, ValidationError
+from repro.mechanisms import (
+    LaplaceMechanism,
+    PrivacyAccountant,
+    PrivacySpec,
+    advanced_composition,
+    parallel_composition,
+    sequential_composition,
+)
+from repro.mechanisms.composition import best_composition
+
+
+class TestSequentialComposition:
+    def test_epsilons_add(self):
+        specs = [PrivacySpec(0.5), PrivacySpec(1.0), PrivacySpec(0.25)]
+        assert sequential_composition(specs).epsilon == pytest.approx(1.75)
+
+    def test_deltas_add_and_cap(self):
+        specs = [PrivacySpec(1.0, 0.6), PrivacySpec(1.0, 0.6)]
+        assert sequential_composition(specs).delta == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            sequential_composition([])
+
+    def test_rejects_non_specs(self):
+        with pytest.raises(ValidationError):
+            sequential_composition([1.0])
+
+
+class TestParallelComposition:
+    def test_takes_maximum(self):
+        specs = [PrivacySpec(0.5), PrivacySpec(2.0)]
+        assert parallel_composition(specs).epsilon == pytest.approx(2.0)
+
+
+class TestAdvancedComposition:
+    def test_formula(self):
+        import numpy as np
+
+        eps, k, dp = 0.1, 100, 1e-6
+        out = advanced_composition(eps, 0.0, k, dp)
+        expected = eps * np.sqrt(2 * k * np.log(1 / dp)) + k * eps * (
+            np.exp(eps) - 1
+        )
+        assert out.epsilon == pytest.approx(expected)
+        assert out.delta == pytest.approx(dp)
+
+    def test_sublinear_in_k_for_small_epsilon(self):
+        basic = sequential_composition([PrivacySpec(0.01)] * 10_000)
+        advanced = advanced_composition(0.01, 0.0, 10_000, 1e-6)
+        assert advanced.epsilon < basic.epsilon
+
+    def test_basic_wins_for_few_queries(self):
+        basic = sequential_composition([PrivacySpec(0.1)] * 2)
+        advanced = advanced_composition(0.1, 0.0, 2, 1e-6)
+        assert basic.epsilon < advanced.epsilon
+
+    def test_best_composition_picks_smaller(self):
+        few = best_composition(0.1, 0.0, 2, 1e-6)
+        many = best_composition(0.01, 0.0, 10_000, 1e-6)
+        assert few.epsilon == pytest.approx(0.2)
+        assert many.epsilon < 100.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            advanced_composition(0.1, 0.0, 0, 1e-6)
+        with pytest.raises(ValidationError):
+            advanced_composition(0.1, 0.0, 5, 0.0)
+
+
+class TestAccountant:
+    def test_tracks_spend(self):
+        acct = PrivacyAccountant(budget=PrivacySpec(2.0))
+        acct.charge(PrivacySpec(0.5), label="q1")
+        acct.charge(PrivacySpec(1.0), label="q2")
+        assert acct.spent.epsilon == pytest.approx(1.5)
+        assert acct.remaining_epsilon == pytest.approx(0.5)
+
+    def test_refuses_over_budget(self):
+        acct = PrivacyAccountant(budget=PrivacySpec(1.0))
+        acct.charge(PrivacySpec(0.9))
+        with pytest.raises(PrivacyBudgetError):
+            acct.charge(PrivacySpec(0.2))
+
+    def test_exact_budget_is_affordable(self):
+        acct = PrivacyAccountant(budget=PrivacySpec(1.0))
+        acct.charge(PrivacySpec(0.5))
+        acct.charge(PrivacySpec(0.5))
+        assert acct.remaining_epsilon == pytest.approx(0.0)
+
+    def test_run_executes_mechanism_and_charges(self):
+        acct = PrivacyAccountant(budget=PrivacySpec(1.0))
+        mech = LaplaceMechanism(lambda d: float(sum(d)), 1.0, epsilon=0.4)
+        out = acct.run(mech, [1, 0, 1], random_state=0)
+        assert isinstance(out, float)
+        assert acct.spent.epsilon == pytest.approx(0.4)
+        assert acct.ledger()[0].label == "LaplaceMechanism"
+
+    def test_run_refused_when_budget_exhausted(self):
+        acct = PrivacyAccountant(budget=PrivacySpec(0.5))
+        mech = LaplaceMechanism(lambda d: float(sum(d)), 1.0, epsilon=0.4)
+        acct.run(mech, [1], random_state=0)
+        with pytest.raises(PrivacyBudgetError):
+            acct.run(mech, [1], random_state=0)
+
+    def test_delta_budget_enforced(self):
+        acct = PrivacyAccountant(budget=PrivacySpec(10.0, delta=1e-6))
+        with pytest.raises(PrivacyBudgetError):
+            acct.charge(PrivacySpec(1.0, delta=1e-3))
+
+    def test_empty_ledger(self):
+        acct = PrivacyAccountant(budget=PrivacySpec(1.0))
+        assert acct.spent is None
+        assert acct.remaining_epsilon == pytest.approx(1.0)

@@ -1,0 +1,115 @@
+"""Unit tests for continual release (tree aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mechanisms.continual import NaivePrefixRelease, TreeAggregator
+
+
+@pytest.fixture
+def stream():
+    rng = np.random.default_rng(0)
+    return (rng.uniform(size=256) < 0.3).astype(float)
+
+
+class TestTreeAggregator:
+    def test_levels_and_padding(self):
+        tree = TreeAggregator(horizon=100, epsilon=1.0)
+        assert tree.size == 128
+        assert tree.levels == 8
+
+    def test_release_shape(self, stream):
+        tree = TreeAggregator(horizon=256, epsilon=1.0)
+        out = tree.release(stream, random_state=1)
+        assert out.shape == (256,)
+
+    def test_unbiased(self, stream):
+        tree = TreeAggregator(horizon=256, epsilon=1.0)
+        rng = np.random.default_rng(2)
+        truth = np.cumsum(stream)
+        total = np.zeros_like(truth)
+        trials = 400
+        for _ in range(trials):
+            total += tree.release(stream, random_state=rng)
+        bias = np.abs(total / trials - truth).max()
+        assert bias < tree.per_step_noise_std() / np.sqrt(trials) * 5
+
+    def test_error_within_predicted_std(self, stream):
+        tree = TreeAggregator(horizon=256, epsilon=1.0)
+        rng = np.random.default_rng(3)
+        truth = np.cumsum(stream)
+        errors = []
+        for _ in range(200):
+            errors.append(np.abs(tree.release(stream, random_state=rng) - truth))
+        rms = float(np.sqrt(np.mean(np.square(errors))))
+        assert rms <= tree.per_step_noise_std() * 1.2
+
+    def test_prefix_decomposition_exact_without_noise(self, stream):
+        """With ε huge the noise vanishes and the dyadic decomposition
+        must reproduce the exact prefix sums — a correctness check on the
+        tree indexing."""
+        tree = TreeAggregator(horizon=256, epsilon=1e9)
+        out = tree.release(stream, random_state=4)
+        assert out == pytest.approx(np.cumsum(stream), abs=1e-3)
+
+    def test_partial_stream_allowed(self):
+        tree = TreeAggregator(horizon=256, epsilon=1e9)
+        out = tree.release(np.ones(100), random_state=5)
+        assert out == pytest.approx(np.arange(1, 101, dtype=float), abs=1e-3)
+
+    def test_rejects_overlong_stream(self):
+        tree = TreeAggregator(horizon=8, epsilon=1.0)
+        with pytest.raises(ValidationError):
+            tree.release(np.ones(9), random_state=0)
+
+    def test_rejects_oversized_values(self):
+        tree = TreeAggregator(horizon=8, epsilon=1.0, value_sensitivity=1.0)
+        with pytest.raises(ValidationError):
+            tree.release([2.0], random_state=0)
+
+
+class TestNaiveBaseline:
+    def test_release_shape(self, stream):
+        naive = NaivePrefixRelease(horizon=256, epsilon=1.0)
+        assert naive.release(stream, random_state=6).shape == (256,)
+
+    def test_tree_beats_naive_at_equal_budget(self, stream):
+        """The headline scaling: per-step noise √2·T/ε for naive vs
+        √(2·log T)·log T/ε for the tree — a big gap at T = 256."""
+        epsilon = 1.0
+        tree = TreeAggregator(horizon=256, epsilon=epsilon)
+        naive = NaivePrefixRelease(horizon=256, epsilon=epsilon)
+        assert tree.per_step_noise_std() < naive.per_step_noise_std() / 5
+
+        rng = np.random.default_rng(7)
+        truth = np.cumsum(stream)
+        tree_rms = np.sqrt(
+            np.mean(
+                [
+                    np.mean((tree.release(stream, random_state=rng) - truth) ** 2)
+                    for _ in range(50)
+                ]
+            )
+        )
+        naive_rms = np.sqrt(
+            np.mean(
+                [
+                    np.mean(
+                        (naive.release(stream, random_state=rng) - truth) ** 2
+                    )
+                    for _ in range(50)
+                ]
+            )
+        )
+        assert tree_rms < naive_rms / 5
+
+    def test_scaling_with_horizon(self):
+        """Tree noise grows polylog in T; naive grows linearly."""
+        epsilon = 1.0
+        ratios = []
+        for horizon in [64, 1024]:
+            tree = TreeAggregator(horizon=horizon, epsilon=epsilon)
+            naive = NaivePrefixRelease(horizon=horizon, epsilon=epsilon)
+            ratios.append(naive.per_step_noise_std() / tree.per_step_noise_std())
+        assert ratios[1] > ratios[0]  # the gap widens with T

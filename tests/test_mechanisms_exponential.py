@@ -1,0 +1,165 @@
+"""Unit tests for the exponential mechanism (Theorem 2.5)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import DiscreteDistribution
+from repro.exceptions import ValidationError
+from repro.information import max_divergence
+from repro.mechanisms import ExponentialMechanism
+from repro.privacy import ExactPrivacyAuditor
+
+
+def median_quality(dataset, candidate):
+    """Quality = -(distance of candidate to the dataset median rank)."""
+    return -abs(sorted(dataset)[len(dataset) // 2] - candidate)
+
+
+@pytest.fixture
+def mechanism() -> ExponentialMechanism:
+    return ExponentialMechanism(
+        median_quality,
+        outputs=range(5),
+        sensitivity=4.0,  # universe {0..4}: median moves by at most 4
+        epsilon=1.0,
+    )
+
+
+class TestOutputDistribution:
+    def test_is_normalized(self, mechanism):
+        dist = mechanism.output_distribution([1, 2, 3])
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+
+    def test_favours_high_quality(self, mechanism):
+        dist = mechanism.output_distribution([2, 2, 2])
+        assert dist.mode() == 2
+
+    def test_exact_exponential_form(self):
+        mech = ExponentialMechanism(
+            lambda d, u: float(u == d[0]),
+            outputs=[0, 1],
+            sensitivity=1.0,
+            epsilon=2.0,
+        )
+        dist = mech.output_distribution([1])
+        # scale = eps / (2*Δq) = 1; probabilities ∝ (e^0, e^1).
+        expected = np.exp([0.0, 1.0])
+        expected /= expected.sum()
+        assert dist.probabilities == pytest.approx(expected)
+
+    def test_base_measure_respected(self):
+        prior = DiscreteDistribution([0, 1], [0.9, 0.1])
+        mech = ExponentialMechanism(
+            lambda d, u: 0.0,  # flat quality: output law = prior
+            outputs=[0, 1],
+            sensitivity=1.0,
+            epsilon=1.0,
+            base_measure=prior,
+        )
+        dist = mech.output_distribution([0])
+        assert dist.probabilities == pytest.approx(prior.probabilities)
+
+    def test_base_measure_support_must_match(self):
+        prior = DiscreteDistribution([0, 2], [0.5, 0.5])
+        with pytest.raises(ValidationError):
+            ExponentialMechanism(
+                lambda d, u: 0.0,
+                outputs=[0, 1],
+                sensitivity=1.0,
+                epsilon=1.0,
+                base_measure=prior,
+            )
+
+
+class TestPrivacy:
+    def test_calibrated_guarantee_is_epsilon(self, mechanism):
+        assert mechanism.epsilon == pytest.approx(1.0)
+
+    def test_raw_parametrization_guarantee(self):
+        mech = ExponentialMechanism(
+            median_quality,
+            outputs=range(3),
+            sensitivity=2.0,
+            epsilon=0.5,
+            calibrated=False,
+        )
+        # Paper's Theorem 2.5: 2·ε·Δq
+        assert mech.epsilon == pytest.approx(2 * 0.5 * 2.0)
+        assert mech.scale == pytest.approx(0.5)
+
+    def test_exact_audit_passes(self):
+        mech = ExponentialMechanism(
+            lambda d, u: -abs(sum(d) - u),
+            outputs=range(4),
+            sensitivity=1.0,
+            epsilon=1.0,
+        )
+        auditor = ExactPrivacyAuditor(mech.output_distribution)
+        report = auditor.audit([0, 1], n=3, claimed_epsilon=mech.epsilon)
+        assert report.satisfied
+        assert report.measured_epsilon <= mech.epsilon + 1e-12
+
+    def test_pairwise_max_divergence_bounded(self, mechanism):
+        d1 = [0, 0, 0]
+        d2 = [0, 0, 4]
+        p = mechanism.output_distribution(d1)
+        q = mechanism.output_distribution(d2)
+        assert max_divergence(p, q) <= mechanism.epsilon + 1e-12
+
+
+class TestUtility:
+    def test_expected_quality_improves_with_epsilon(self):
+        def build(epsilon):
+            return ExponentialMechanism(
+                median_quality, range(5), sensitivity=4.0, epsilon=epsilon
+            )
+
+        dataset = [2, 2, 2]
+        weak = build(0.1).expected_quality(dataset)
+        strong = build(10.0).expected_quality(dataset)
+        assert strong > weak
+
+    def test_utility_bound_positive(self, mechanism):
+        assert mechanism.utility_bound(0.05) > 0
+
+    def test_utility_bound_rejects_bad_probability(self, mechanism):
+        with pytest.raises(ValidationError):
+            mechanism.utility_bound(0.0)
+
+    def test_utility_bound_holds_empirically(self):
+        mech = ExponentialMechanism(
+            median_quality, range(5), sensitivity=4.0, epsilon=5.0
+        )
+        dataset = [2, 2, 2]
+        best = max(median_quality(dataset, u) for u in range(5))
+        bound = mech.utility_bound(0.05)
+        dist = mech.output_distribution(dataset)
+        prob_bad = sum(
+            p
+            for u, p in dist
+            if median_quality(dataset, u) < best - bound
+        )
+        assert prob_bad <= 0.05 + 1e-9
+
+
+class TestRelease:
+    def test_reproducible(self, mechanism):
+        a = mechanism.release([1, 2, 3], random_state=5)
+        b = mechanism.release([1, 2, 3], random_state=5)
+        assert a == b
+
+    def test_samples_follow_distribution(self, mechanism):
+        dataset = [2, 2, 2]
+        dist = mechanism.output_distribution(dataset)
+        rng = np.random.default_rng(0)
+        draws = [mechanism.release(dataset, random_state=rng) for _ in range(20_000)]
+        empirical = np.mean([d == dist.mode() for d in draws])
+        assert empirical == pytest.approx(
+            dist.probability_of(dist.mode()), abs=0.02
+        )
+
+    def test_rejects_empty_outputs(self):
+        with pytest.raises(ValidationError):
+            ExponentialMechanism(
+                median_quality, outputs=[], sensitivity=1.0, epsilon=1.0
+            )

@@ -1,0 +1,85 @@
+"""Unit tests for the geometric mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mechanisms import GeometricMechanism
+
+
+def count_query(dataset):
+    return sum(dataset)
+
+
+@pytest.fixture
+def mechanism() -> GeometricMechanism:
+    return GeometricMechanism(count_query, sensitivity=1.0, epsilon=1.0)
+
+
+class TestNoise:
+    def test_pmf_sums_to_one(self, mechanism):
+        total = sum(
+            np.exp(mechanism.noise_log_pmf(k)) for k in range(-200, 201)
+        )
+        assert total == pytest.approx(1.0, abs=1e-10)
+
+    def test_pmf_symmetric(self, mechanism):
+        assert mechanism.noise_log_pmf(5) == pytest.approx(
+            mechanism.noise_log_pmf(-5)
+        )
+
+    def test_sampled_moments_match(self, mechanism):
+        rng = np.random.default_rng(0)
+        draws = [mechanism.sample_noise(rng) for _ in range(100_000)]
+        assert np.mean(draws) == pytest.approx(0.0, abs=0.02)
+        assert np.var(draws) == pytest.approx(mechanism.noise_variance(), rel=0.03)
+
+    def test_sampled_pmf_matches_analytic(self, mechanism):
+        rng = np.random.default_rng(1)
+        draws = np.array([mechanism.sample_noise(rng) for _ in range(200_000)])
+        for k in [0, 1, -2]:
+            empirical = np.mean(draws == k)
+            analytic = np.exp(mechanism.noise_log_pmf(k))
+            assert empirical == pytest.approx(analytic, rel=0.05)
+
+
+class TestPrivacy:
+    def test_exact_dp_on_all_outputs(self, mechanism):
+        """Neighbouring counts differ by 1, so the log-pmf ratio is <= ε."""
+        d1 = [1, 0, 1]
+        d2 = [1, 1, 1]
+        for value in range(-50, 60):
+            gap = abs(
+                mechanism.output_log_pmf(d1, value)
+                - mechanism.output_log_pmf(d2, value)
+            )
+            assert gap <= mechanism.epsilon + 1e-12
+
+    def test_dp_bound_is_attained(self, mechanism):
+        """The geometric mechanism is sharp: the ratio equals ε in the tail."""
+        gap = abs(
+            mechanism.output_log_pmf([0], 100) - mechanism.output_log_pmf([1], 100)
+        )
+        assert gap == pytest.approx(mechanism.epsilon)
+
+
+class TestRelease:
+    def test_integer_output(self, mechanism):
+        out = mechanism.release([1, 1, 0], random_state=0)
+        assert isinstance(out, int)
+
+    def test_rejects_non_integer_query(self):
+        mech = GeometricMechanism(lambda d: 0.5, sensitivity=1.0, epsilon=1.0)
+        with pytest.raises(ValidationError):
+            mech.release([1], random_state=0)
+
+    def test_unbiased(self, mechanism):
+        rng = np.random.default_rng(2)
+        outputs = [mechanism.release([1, 1, 1], random_state=rng) for _ in range(50_000)]
+        assert np.mean(outputs) == pytest.approx(3.0, abs=0.05)
+
+    def test_alpha_decreases_with_epsilon(self):
+        weak = GeometricMechanism(count_query, 1.0, epsilon=0.1)
+        strong = GeometricMechanism(count_query, 1.0, epsilon=5.0)
+        assert weak.alpha > strong.alpha
+        assert weak.noise_variance() > strong.noise_variance()

@@ -1,0 +1,131 @@
+"""Unit tests for private histograms and linear query workloads."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.mechanisms.histogram import (
+    HISTOGRAM_SENSITIVITY,
+    LinearQueryWorkload,
+    PrivateHistogram,
+)
+
+
+@pytest.fixture
+def records():
+    return ["a"] * 50 + ["b"] * 30 + ["c"] * 20
+
+
+class TestPrivateHistogram:
+    def test_true_counts(self, records):
+        hist = PrivateHistogram(["a", "b", "c"], epsilon=1.0)
+        assert hist.true_counts(records).tolist() == [50, 30, 20]
+
+    def test_unknown_category_rejected(self):
+        hist = PrivateHistogram(["a"], epsilon=1.0)
+        with pytest.raises(ValidationError):
+            hist.true_counts(["z"])
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(ValidationError):
+            PrivateHistogram(["a", "a"], epsilon=1.0)
+
+    def test_release_unbiased(self, records):
+        hist = PrivateHistogram(["a", "b", "c"], epsilon=1.0)
+        rng = np.random.default_rng(0)
+        totals = np.zeros(3)
+        trials = 3000
+        for _ in range(trials):
+            totals += hist.release(records, random_state=rng)
+        assert totals / trials == pytest.approx([50, 30, 20], abs=0.6)
+
+    def test_geometric_release_is_integer(self, records):
+        hist = PrivateHistogram(["a", "b", "c"], epsilon=1.0, noise="geometric")
+        out = hist.release(records, random_state=1)
+        assert np.allclose(out, np.round(out))
+
+    def test_noise_scale(self):
+        hist = PrivateHistogram(["a"], epsilon=0.5)
+        assert hist.noise_scale == pytest.approx(HISTOGRAM_SENSITIVITY / 0.5)
+
+    def test_nonnegative_projection(self, records):
+        hist = PrivateHistogram(["a", "b", "c"], epsilon=0.01)
+        hist.release(records, random_state=2)
+        assert (hist.nonnegative_counts() >= 0).all()
+
+    def test_nonnegative_before_release_raises(self):
+        hist = PrivateHistogram(["a"], epsilon=1.0)
+        with pytest.raises(NotFittedError):
+            hist.nonnegative_counts()
+
+    def test_expected_max_error_holds_empirically(self, records):
+        hist = PrivateHistogram(["a", "b", "c"], epsilon=1.0)
+        bound = hist.expected_max_error(confidence=0.95)
+        rng = np.random.default_rng(3)
+        true = hist.true_counts(records)
+        hits = 0
+        trials = 2000
+        for _ in range(trials):
+            noisy = hist.release(records, random_state=rng)
+            if np.abs(noisy - true).max() <= bound:
+                hits += 1
+        assert hits / trials >= 0.95 - 0.02
+
+    def test_empirical_dp_of_laplace_histogram(self):
+        """Analytic check: neighbouring datasets move two counts by one
+        each, so the joint log-density gap is ≤ 2·(1/scale) = ε."""
+        hist = PrivateHistogram(["a", "b"], epsilon=1.0)
+        # log-density gap per bin shift of 1 is at most 1/scale = ε/2;
+        # two bins shift, totalling ε.
+        assert 2 * (1.0 / hist.noise_scale) == pytest.approx(hist.epsilon)
+
+
+class TestLinearQueryWorkload:
+    def test_range_query_count(self):
+        workload = LinearQueryWorkload.all_range_queries(["a", "b", "c"])
+        assert len(workload) == 6  # 3 singletons + 2 pairs + 1 full range
+
+    def test_prefix_queries(self):
+        workload = LinearQueryWorkload.prefix_queries(["a", "b", "c"])
+        answers = workload.true_answers([5, 3, 2])
+        assert answers.tolist() == [5, 8, 10]
+
+    def test_answers_are_post_processing(self, records):
+        hist = PrivateHistogram(["a", "b", "c"], epsilon=1.0)
+        noisy = hist.release(records, random_state=4)
+        workload = LinearQueryWorkload.all_range_queries(["a", "b", "c"])
+        answers = workload.answer(noisy)
+        assert answers.shape == (6,)
+        # The full-range query equals the sum of noisy counts exactly.
+        full_range = int(np.flatnonzero((workload.matrix == 1).all(axis=1))[0])
+        assert answers[full_range] == pytest.approx(noisy.sum())
+
+    def test_rejects_bad_query_matrix(self):
+        with pytest.raises(ValidationError):
+            LinearQueryWorkload(["a", "b"], [[1.0, 0.0, 0.0]])
+
+    def test_variance_formula_matches_simulation(self, records):
+        hist = PrivateHistogram(["a", "b", "c"], epsilon=1.0)
+        workload = LinearQueryWorkload.prefix_queries(["a", "b", "c"])
+        predicted = workload.per_query_noise_variance(hist.noise_scale)
+        rng = np.random.default_rng(5)
+        true = workload.true_answers(hist.true_counts(records))
+        errors = np.stack(
+            [
+                workload.answer(hist.release(records, random_state=rng)) - true
+                for _ in range(4000)
+            ]
+        )
+        assert errors.var(axis=0) == pytest.approx(predicted, rel=0.1)
+
+    def test_histogram_beats_per_query_laplace_for_large_workloads(self):
+        """The classic argument: answering all ranges via one histogram
+        release beats splitting ε across the queries."""
+        categories = list(range(20))
+        workload = LinearQueryWorkload.all_range_queries(categories)
+        epsilon = 1.0
+        histogram_error = workload.expected_l2_error_histogram(
+            HISTOGRAM_SENSITIVITY / epsilon
+        )
+        per_query_error = workload.expected_l2_error_per_query_laplace(epsilon)
+        assert histogram_error < per_query_error

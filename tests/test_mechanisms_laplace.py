@@ -1,0 +1,91 @@
+"""Unit tests for the Laplace mechanism (Theorem 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import LaplaceMechanism
+
+
+def count_ones(dataset):
+    return float(sum(dataset))
+
+
+@pytest.fixture
+def mechanism() -> LaplaceMechanism:
+    return LaplaceMechanism(count_ones, sensitivity=1.0, epsilon=0.5)
+
+
+class TestRelease:
+    def test_unbiased(self, mechanism):
+        dataset = [1, 0, 1, 1]
+        rng = np.random.default_rng(0)
+        outputs = [mechanism.release(dataset, random_state=rng) for _ in range(20_000)]
+        assert np.mean(outputs) == pytest.approx(3.0, abs=0.05)
+
+    def test_noise_scale(self, mechanism):
+        assert mechanism.noise.scale == pytest.approx(1.0 / 0.5)
+
+    def test_vector_query(self):
+        mech = LaplaceMechanism(
+            lambda d: np.array([sum(d), len(d)]), sensitivity=2.0, epsilon=1.0
+        )
+        out = mech.release([1, 0, 1], random_state=0)
+        assert out.shape == (2,)
+
+    def test_reproducible(self, mechanism):
+        a = mechanism.release([1, 0], random_state=42)
+        b = mechanism.release([1, 0], random_state=42)
+        assert a == b
+
+
+class TestPrivacy:
+    def test_analytic_dp_at_every_output(self, mechanism):
+        """The log-density gap between neighbours is at most ε everywhere."""
+        d1 = [1, 0, 1]
+        d2 = [1, 1, 1]  # neighbour: one record substituted
+        for value in np.linspace(-10, 10, 101):
+            gap = abs(
+                mechanism.output_log_density(d1, value)
+                - mechanism.output_log_density(d2, value)
+            )
+            assert gap <= mechanism.epsilon + 1e-12
+
+    def test_dp_bound_is_tight(self, mechanism):
+        """Far in the tail the ratio attains exactly ε."""
+        d1 = [1, 0, 1]
+        d2 = [1, 1, 1]
+        gap = abs(
+            mechanism.output_log_density(d1, 100.0)
+            - mechanism.output_log_density(d2, 100.0)
+        )
+        assert gap == pytest.approx(mechanism.epsilon)
+
+
+class TestUtility:
+    def test_expected_absolute_error(self, mechanism):
+        rng = np.random.default_rng(1)
+        errors = [
+            abs(mechanism.release([0], random_state=rng)) for _ in range(50_000)
+        ]
+        assert np.mean(errors) == pytest.approx(
+            mechanism.expected_absolute_error(), rel=0.03
+        )
+
+    def test_error_quantile(self, mechanism):
+        bound = mechanism.error_quantile(0.95)
+        rng = np.random.default_rng(2)
+        errors = np.abs(
+            [mechanism.release([0], random_state=rng) for _ in range(50_000)]
+        )
+        assert np.mean(errors <= bound) == pytest.approx(0.95, abs=0.01)
+
+    def test_error_quantile_rejects_bad_probability(self, mechanism):
+        with pytest.raises(ValueError):
+            mechanism.error_quantile(1.0)
+
+    def test_error_scales_inversely_with_epsilon(self):
+        loose = LaplaceMechanism(count_ones, sensitivity=1.0, epsilon=0.1)
+        tight = LaplaceMechanism(count_ones, sensitivity=1.0, epsilon=10.0)
+        assert loose.expected_absolute_error() == pytest.approx(
+            100 * tight.expected_absolute_error()
+        )

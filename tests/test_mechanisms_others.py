@@ -1,0 +1,142 @@
+"""Unit tests for Gaussian, randomized response, and vector mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mechanisms import (
+    GaussianMechanism,
+    RandomizedResponse,
+    VectorLaplaceMechanism,
+)
+from repro.mechanisms.gaussian import gaussian_sigma
+
+
+class TestGaussianMechanism:
+    def test_sigma_calibration(self):
+        sigma = gaussian_sigma(sensitivity=1.0, epsilon=1.0, delta=1e-5)
+        assert sigma == pytest.approx(np.sqrt(2 * np.log(1.25e5)))
+
+    def test_requires_positive_delta(self):
+        with pytest.raises(ValueError):
+            GaussianMechanism(lambda d: 0.0, 1.0, epsilon=1.0, delta=0.0)
+
+    def test_release_unbiased(self):
+        mech = GaussianMechanism(
+            lambda d: float(sum(d)), 1.0, epsilon=1.0, delta=1e-5
+        )
+        rng = np.random.default_rng(0)
+        outs = [mech.release([1, 1], random_state=rng) for _ in range(20_000)]
+        assert np.mean(outs) == pytest.approx(2.0, abs=0.1)
+
+    def test_pure_dp_fails_in_the_tail(self):
+        """Negative control: Gaussian noise cannot be pure ε-DP — the
+        log-density ratio grows without bound in the tail."""
+        mech = GaussianMechanism(
+            lambda d: float(sum(d)), 1.0, epsilon=1.0, delta=1e-3
+        )
+        gap_near = abs(
+            mech.output_log_density([0], 1.0) - mech.output_log_density([1], 1.0)
+        )
+        gap_far = abs(
+            mech.output_log_density([0], 50.0) - mech.output_log_density([1], 50.0)
+        )
+        assert gap_far > gap_near
+        assert gap_far > mech.epsilon  # pure-DP audit would flag this
+
+    def test_vector_release(self):
+        mech = GaussianMechanism(
+            lambda d: np.array([1.0, 2.0]), 1.0, epsilon=1.0, delta=1e-5
+        )
+        out = mech.release([0], random_state=0)
+        assert out.shape == (2,)
+
+
+class TestRandomizedResponse:
+    def test_truth_probability(self):
+        rr = RandomizedResponse(epsilon=np.log(3.0))
+        assert rr.truth_probability == pytest.approx(0.75)
+
+    def test_randomize_bit_validates(self):
+        rr = RandomizedResponse(epsilon=1.0)
+        with pytest.raises(ValidationError):
+            rr.randomize_bit(2)
+
+    def test_release_flips_at_expected_rate(self):
+        rr = RandomizedResponse(epsilon=np.log(3.0))
+        bits = np.ones(100_000, dtype=int)
+        out = rr.release(bits, random_state=0)
+        assert out.mean() == pytest.approx(0.75, abs=0.005)
+
+    def test_release_rejects_non_binary(self):
+        rr = RandomizedResponse(epsilon=1.0)
+        with pytest.raises(ValidationError):
+            rr.release([0, 2], random_state=0)
+
+    def test_debiasing_recovers_proportion(self):
+        rr = RandomizedResponse(epsilon=1.0)
+        rng = np.random.default_rng(1)
+        bits = (rng.uniform(size=200_000) < 0.3).astype(int)
+        noisy = rr.release(bits, random_state=rng)
+        assert rr.estimate_proportion(noisy) == pytest.approx(0.3, abs=0.01)
+
+    def test_estimator_variance_shrinks_with_n(self):
+        rr = RandomizedResponse(epsilon=1.0)
+        assert rr.estimator_variance(10_000) < rr.estimator_variance(100)
+
+    def test_channel_is_exactly_epsilon_dp(self):
+        """RR saturates the DP constraint: channel max-log-ratio == ε."""
+        epsilon = 1.3
+        rr = RandomizedResponse(epsilon=epsilon)
+        channel = rr.as_channel()
+        assert channel.max_log_ratio() == pytest.approx(epsilon)
+
+    def test_privacy_utility_tradeoff(self):
+        strict = RandomizedResponse(epsilon=0.1)
+        loose = RandomizedResponse(epsilon=5.0)
+        assert strict.estimator_variance(1000) > loose.estimator_variance(1000)
+
+
+class TestVectorLaplaceMechanism:
+    def test_release_shape(self):
+        mech = VectorLaplaceMechanism(
+            lambda d: np.zeros(3), dimension=3, sensitivity=1.0, epsilon=1.0
+        )
+        out = mech.release([0], random_state=0)
+        assert out.shape == (3,)
+
+    def test_rejects_wrong_query_shape(self):
+        mech = VectorLaplaceMechanism(
+            lambda d: np.zeros(2), dimension=3, sensitivity=1.0, epsilon=1.0
+        )
+        with pytest.raises(ValidationError):
+            mech.release([0], random_state=0)
+
+    def test_expected_noise_norm(self):
+        mech = VectorLaplaceMechanism(
+            lambda d: np.zeros(4), dimension=4, sensitivity=2.0, epsilon=1.0
+        )
+        rng = np.random.default_rng(0)
+        norms = [
+            np.linalg.norm(mech.release([0], random_state=rng))
+            for _ in range(50_000)
+        ]
+        assert np.mean(norms) == pytest.approx(mech.expected_noise_norm(), rel=0.02)
+
+    def test_analytic_dp_property(self):
+        """log-density ratio between neighbours bounded by ε·‖Δf‖/Δf = ε."""
+        shift = np.array([0.6, -0.8])  # ‖shift‖ = 1 = the sensitivity
+        mech = VectorLaplaceMechanism(
+            lambda d: shift if d[0] else np.zeros(2),
+            dimension=2,
+            sensitivity=1.0,
+            epsilon=0.7,
+        )
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            value = rng.normal(size=2) * 3
+            gap = abs(
+                mech.output_log_density([0], value)
+                - mech.output_log_density([1], value)
+            )
+            assert gap <= mech.epsilon + 1e-9

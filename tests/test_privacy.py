@@ -1,0 +1,160 @@
+"""Unit tests for privacy definitions and auditors."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import DiscreteDistribution
+from repro.mechanisms import ExponentialMechanism, RandomizedResponse
+from repro.privacy import (
+    ExactPrivacyAuditor,
+    SampledPrivacyAuditor,
+    all_neighbour_pairs,
+    is_neighbour,
+    satisfies_approximate_dp,
+    satisfies_pure_dp,
+)
+
+
+class TestNeighbourRelation:
+    def test_single_substitution(self):
+        assert is_neighbour([1, 2, 3], [1, 9, 3])
+
+    def test_identical_not_neighbours(self):
+        assert not is_neighbour([1, 2], [1, 2])
+
+    def test_two_substitutions_not_neighbours(self):
+        assert not is_neighbour([1, 2], [3, 4])
+
+    def test_different_lengths_not_neighbours(self):
+        assert not is_neighbour([1], [1, 2])
+
+    def test_all_pairs_count(self):
+        # |universe|^n datasets, each with n*(|universe|-1) neighbours.
+        pairs = list(all_neighbour_pairs([0, 1, 2], n=2))
+        assert len(pairs) == 9 * 2 * 2
+
+    def test_all_pairs_are_neighbours(self):
+        for a, b in all_neighbour_pairs([0, 1], n=3):
+            assert is_neighbour(a, b)
+
+
+class TestDPPredicates:
+    def test_pure_dp_satisfied(self):
+        p = DiscreteDistribution([0, 1], [0.6, 0.4])
+        q = DiscreteDistribution([0, 1], [0.4, 0.6])
+        eps = np.log(1.5)
+        assert satisfies_pure_dp(p, q, eps)
+
+    def test_pure_dp_violated(self):
+        p = DiscreteDistribution([0, 1], [0.9, 0.1])
+        q = DiscreteDistribution([0, 1], [0.1, 0.9])
+        assert not satisfies_pure_dp(p, q, 0.5)
+
+    def test_approx_dp_with_delta_slack(self):
+        p = DiscreteDistribution([0, 1], [0.9, 0.1])
+        q = DiscreteDistribution([0, 1], [0.1, 0.9])
+        # Fails pure DP at eps=0.5 but passes with a large enough delta.
+        assert satisfies_approximate_dp(p, q, 0.5, delta=0.8)
+        assert not satisfies_approximate_dp(p, q, 0.5, delta=0.01)
+
+
+class TestExactAuditor:
+    def test_randomized_response_is_sharp(self):
+        """RR per-bit output law attains exactly ε — the auditor must
+        measure the nominal guarantee with equality."""
+        epsilon = 1.2
+        rr = RandomizedResponse(epsilon=epsilon)
+
+        def output_law(dataset):
+            bit = dataset[0]
+            p = rr.truth_probability
+            return DiscreteDistribution(
+                [0, 1], [p, 1 - p] if bit == 0 else [1 - p, p]
+            )
+
+        auditor = ExactPrivacyAuditor(output_law)
+        report = auditor.audit([0, 1], n=1, claimed_epsilon=epsilon)
+        assert report.exact
+        assert report.satisfied
+        assert report.measured_epsilon == pytest.approx(epsilon)
+
+    def test_detects_violation(self):
+        """A deliberately broken mechanism must be flagged."""
+
+        def leaky_law(dataset):
+            # Probability gap way beyond the claimed epsilon.
+            if sum(dataset) > 0:
+                return DiscreteDistribution([0, 1], [0.99, 0.01])
+            return DiscreteDistribution([0, 1], [0.01, 0.99])
+
+        auditor = ExactPrivacyAuditor(leaky_law)
+        report = auditor.audit([0, 1], n=1, claimed_epsilon=0.5)
+        assert not report.satisfied
+        assert report.measured_epsilon > 0.5
+        assert report.worst_pair is not None
+
+    def test_exponential_mechanism_passes(self):
+        mech = ExponentialMechanism(
+            lambda d, u: -abs(sum(d) - u),
+            outputs=range(3),
+            sensitivity=1.0,
+            epsilon=0.8,
+        )
+        auditor = ExactPrivacyAuditor(mech.output_distribution)
+        report = auditor.audit([0, 1], n=2, claimed_epsilon=mech.epsilon)
+        assert report.satisfied
+
+    def test_reports_pair_count(self):
+        mech = ExponentialMechanism(
+            lambda d, u: 0.0, outputs=[0], sensitivity=1.0, epsilon=1.0
+        )
+        auditor = ExactPrivacyAuditor(mech.output_distribution)
+        report = auditor.audit([0, 1], n=2)
+        assert report.pairs_checked == 4 * 2 * 1
+
+    def test_str_rendering(self):
+        mech = ExponentialMechanism(
+            lambda d, u: 0.0, outputs=[0, 1], sensitivity=1.0, epsilon=1.0
+        )
+        auditor = ExactPrivacyAuditor(mech.output_distribution)
+        report = auditor.audit([0, 1], n=1, claimed_epsilon=1.0)
+        assert "exact" in str(report)
+        assert "OK" in str(report)
+
+
+class TestSampledAuditor:
+    def test_estimates_rr_epsilon(self):
+        epsilon = 1.0
+        rr = RandomizedResponse(epsilon=epsilon)
+
+        def release(dataset, random_state=None):
+            return rr.randomize_bit(dataset[0], random_state=random_state)
+
+        auditor = SampledPrivacyAuditor(release, n_samples=100_000)
+        report = auditor.audit_pair([0], [1], random_state=0)
+        assert not report.exact
+        assert report.measured_epsilon == pytest.approx(epsilon, abs=0.05)
+
+    def test_flags_gross_violation(self):
+        def release(dataset, random_state=None):
+            # Nearly deterministic leak of the record.
+            rng = np.random.default_rng(
+                random_state.integers(2**31)
+                if isinstance(random_state, np.random.Generator)
+                else random_state
+            )
+            return dataset[0] if rng.uniform() < 0.999 else 1 - dataset[0]
+
+        auditor = SampledPrivacyAuditor(release, n_samples=50_000)
+        report = auditor.audit_pair([0], [1], claimed_epsilon=1.0, random_state=1)
+        assert not report.satisfied
+
+    def test_rejects_bad_parameters(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            SampledPrivacyAuditor(lambda d, random_state=None: 0, n_samples=0)
+        with pytest.raises(ValidationError):
+            SampledPrivacyAuditor(
+                lambda d, random_state=None: 0, smoothing=0.0
+            )

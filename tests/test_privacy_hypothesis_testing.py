@@ -1,0 +1,144 @@
+"""Unit tests for the hypothesis-testing view of DP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import DiscreteDistribution
+from repro.exceptions import ValidationError
+from repro.mechanisms import RandomizedResponse
+from repro.privacy.hypothesis_testing import (
+    dp_advantage_bound,
+    dp_tradeoff_curve,
+    membership_advantage,
+    optimal_attack_roc,
+    verify_tradeoff_dominance,
+)
+
+
+def simplex(size: int):
+    return st.lists(st.floats(1e-4, 1.0), min_size=size, max_size=size).map(
+        lambda ws: np.array(ws) / sum(ws)
+    )
+
+
+class TestDpTradeoffCurve:
+    def test_endpoints(self):
+        # At α = 0 DP forces zero power (any rejection set with q-measure 0
+        # must have p-measure 0 too), so β(0) = 1; at α = 1, β = 0.
+        betas = dp_tradeoff_curve(1.0, [0.0, 1.0])
+        assert betas[0] == pytest.approx(1.0)
+        assert betas[1] == pytest.approx(0.0)
+
+    def test_interior_value(self):
+        # At moderate α the binding constraint is 1 - e^ε·α.
+        assert dp_tradeoff_curve(1.0, [0.2])[0] == pytest.approx(
+            1.0 - np.e * 0.2
+        )
+
+    def test_monotone_decreasing_in_alpha(self):
+        alphas = np.linspace(0, 1, 50)
+        betas = dp_tradeoff_curve(0.5, alphas)
+        assert all(a >= b - 1e-12 for a, b in zip(betas, betas[1:]))
+
+    def test_stronger_privacy_higher_curve(self):
+        alphas = np.linspace(0.01, 0.99, 20)
+        strict = dp_tradeoff_curve(0.1, alphas)
+        loose = dp_tradeoff_curve(3.0, alphas)
+        assert np.all(strict >= loose)
+
+    def test_rejects_bad_alphas(self):
+        with pytest.raises(ValidationError):
+            dp_tradeoff_curve(1.0, [-0.1])
+
+
+class TestAdvantageBound:
+    def test_formula(self):
+        assert dp_advantage_bound(np.log(3)) == pytest.approx(0.5)
+
+    def test_small_epsilon_small_advantage(self):
+        assert dp_advantage_bound(0.01) < 0.006
+
+    def test_large_epsilon_approaches_one(self):
+        assert dp_advantage_bound(20.0) == pytest.approx(1.0, abs=1e-8)
+
+
+class TestOptimalAttackRoc:
+    def test_identical_laws_no_advantage(self):
+        p = DiscreteDistribution([0, 1], [0.5, 0.5])
+        roc = optimal_attack_roc(p, p)
+        assert roc.advantage == pytest.approx(0.0)
+        # The ROC is the diagonal: beta = 1 - alpha.
+        assert roc.beta_at(0.3) == pytest.approx(0.7)
+
+    def test_disjoint_laws_perfect_attack(self):
+        p = DiscreteDistribution([0, 1], [1.0, 0.0])
+        q = DiscreteDistribution([0, 1], [0.0, 1.0])
+        roc = optimal_attack_roc(p, q)
+        assert roc.advantage == pytest.approx(1.0)
+        assert roc.beta_at(0.0) == pytest.approx(0.0)
+
+    def test_advantage_equals_total_variation(self):
+        p = DiscreteDistribution([0, 1, 2], [0.6, 0.3, 0.1])
+        q = DiscreteDistribution([0, 1, 2], [0.2, 0.3, 0.5])
+        assert membership_advantage(p, q) == pytest.approx(
+            p.total_variation_distance(q)
+        )
+
+    @settings(max_examples=40)
+    @given(simplex(4), simplex(4))
+    def test_advantage_tv_identity_random(self, p_probs, q_probs):
+        p = DiscreteDistribution(range(4), p_probs)
+        q = DiscreteDistribution(range(4), q_probs)
+        assert membership_advantage(p, q) == pytest.approx(
+            p.total_variation_distance(q), abs=1e-10
+        )
+
+    def test_neyman_pearson_beats_any_deterministic_test(self):
+        rng = np.random.default_rng(0)
+        p_probs = rng.dirichlet(np.ones(5))
+        q_probs = rng.dirichlet(np.ones(5))
+        p = DiscreteDistribution(range(5), p_probs)
+        q = DiscreteDistribution(range(5), q_probs)
+        roc = optimal_attack_roc(p, q)
+        # Every deterministic rejection set must lie on/above the curve.
+        for mask in range(32):
+            s = [bool(mask & (1 << i)) for i in range(5)]
+            alpha = float(q_probs[s].sum())
+            beta = 1.0 - float(p_probs[s].sum())
+            assert beta >= roc.beta_at(alpha) - 1e-9
+
+
+class TestDominanceVerification:
+    def test_randomized_response_exactly_on_the_curve(self):
+        """RR saturates ε-DP, so its ROC touches the DP tradeoff bound."""
+        epsilon = 1.0
+        rr = RandomizedResponse(epsilon)
+        t = rr.truth_probability
+        p = DiscreteDistribution([0, 1], [t, 1 - t])
+        q = DiscreteDistribution([0, 1], [1 - t, t])
+        assert verify_tradeoff_dominance(p, q, epsilon)
+        roc = optimal_attack_roc(p, q)
+        # Advantage attains the DP bound exactly.
+        assert roc.advantage == pytest.approx(dp_advantage_bound(epsilon))
+
+    def test_gibbs_channel_dominates_with_slack(self):
+        from repro.core import GibbsEstimator
+        from repro.learning import BernoulliTask, PredictorGrid
+
+        task = BernoulliTask(p=0.7)
+        grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 5)
+        epsilon = 1.0
+        est = GibbsEstimator.from_privacy(grid, epsilon, expected_sample_size=2)
+        p = est.output_distribution([0, 0])
+        q = est.output_distribution([0, 1])
+        assert verify_tradeoff_dominance(p, q, epsilon)
+        # And with strict slack: the Gibbs attack is weaker than allowed.
+        assert membership_advantage(p, q) < dp_advantage_bound(epsilon)
+
+    def test_violation_detected(self):
+        """A pair of laws too far apart for the claimed ε must fail."""
+        p = DiscreteDistribution([0, 1], [0.95, 0.05])
+        q = DiscreteDistribution([0, 1], [0.05, 0.95])
+        assert not verify_tradeoff_dominance(p, q, epsilon=0.5)

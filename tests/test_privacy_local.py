@@ -1,0 +1,113 @@
+"""Unit tests for local DP frequency estimation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.privacy.local import KRandomizedResponse, UnaryEncoding
+
+CATEGORIES = ["a", "b", "c", "d"]
+
+
+def sample_records(rng, n=40_000, weights=(0.5, 0.25, 0.15, 0.1)):
+    return rng.choice(CATEGORIES, size=n, p=weights).tolist()
+
+
+class TestKRandomizedResponse:
+    def test_probabilities_sum_correctly(self):
+        mech = KRandomizedResponse(CATEGORIES, epsilon=1.0)
+        k = len(CATEGORIES)
+        total = mech.truth_probability + (k - 1) * mech.lie_probability
+        assert total == pytest.approx(1.0)
+
+    def test_per_record_ratio_is_exactly_epsilon(self):
+        eps = 1.3
+        mech = KRandomizedResponse(CATEGORIES, epsilon=eps)
+        assert np.log(
+            mech.truth_probability / mech.lie_probability
+        ) == pytest.approx(eps)
+
+    def test_randomize_stays_in_categories(self):
+        mech = KRandomizedResponse(CATEGORIES, epsilon=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            assert mech.randomize("a", random_state=rng) in CATEGORIES
+
+    def test_rejects_unknown_value(self):
+        mech = KRandomizedResponse(CATEGORIES, epsilon=1.0)
+        with pytest.raises(ValidationError):
+            mech.randomize("z")
+
+    def test_frequency_estimation_debiased(self):
+        rng = np.random.default_rng(1)
+        records = sample_records(rng)
+        mech = KRandomizedResponse(CATEGORIES, epsilon=2.0)
+        reports = mech.release(records, random_state=rng)
+        estimates = mech.estimate_frequencies(reports)
+        assert estimates == pytest.approx([0.5, 0.25, 0.15, 0.1], abs=0.02)
+
+    def test_estimates_sum_to_one(self):
+        rng = np.random.default_rng(2)
+        records = sample_records(rng, n=5_000)
+        mech = KRandomizedResponse(CATEGORIES, epsilon=1.0)
+        reports = mech.release(records, random_state=rng)
+        assert mech.estimate_frequencies(reports).sum() == pytest.approx(1.0)
+
+    def test_variance_formula_conservative(self):
+        rng = np.random.default_rng(3)
+        n = 5_000
+        mech = KRandomizedResponse(CATEGORIES, epsilon=1.0)
+        estimates = []
+        records = sample_records(rng, n=n)
+        for _ in range(200):
+            reports = mech.release(records, random_state=rng)
+            estimates.append(mech.estimate_frequencies(reports)[0])
+        assert np.var(estimates) <= mech.estimator_variance(n) * 1.2
+
+    def test_needs_two_categories(self):
+        with pytest.raises(ValidationError):
+            KRandomizedResponse(["only"], epsilon=1.0)
+
+
+class TestUnaryEncoding:
+    def test_randomize_shape(self):
+        mech = UnaryEncoding(CATEGORIES, epsilon=1.0)
+        bits = mech.randomize("b", random_state=0)
+        assert bits.shape == (4,)
+        assert set(bits.tolist()) <= {0, 1}
+
+    def test_bit_keep_probability(self):
+        eps = 2.0
+        mech = UnaryEncoding(CATEGORIES, epsilon=eps)
+        assert mech.keep_probability == pytest.approx(
+            np.exp(1.0) / (np.exp(1.0) + 1)
+        )
+
+    def test_frequency_estimation_debiased(self):
+        rng = np.random.default_rng(4)
+        records = sample_records(rng)
+        mech = UnaryEncoding(CATEGORIES, epsilon=2.0)
+        reports = mech.release(records, random_state=rng)
+        estimates = mech.estimate_frequencies(reports)
+        assert estimates == pytest.approx([0.5, 0.25, 0.15, 0.1], abs=0.02)
+
+    def test_rejects_bad_matrix(self):
+        mech = UnaryEncoding(CATEGORIES, epsilon=1.0)
+        with pytest.raises(ValidationError):
+            mech.estimate_frequencies(np.zeros((5, 3)))
+
+    def test_unary_beats_krr_for_many_categories(self):
+        """The reason UE exists: with many categories at small ε its
+        estimator variance is lower than k-RR's."""
+        categories = list(range(64))
+        eps, n = 1.0, 10_000
+        krr = KRandomizedResponse(categories, epsilon=eps)
+        unary = UnaryEncoding(categories, epsilon=eps)
+        assert unary.estimator_variance(n) < krr.estimator_variance(n)
+
+    def test_krr_competitive_for_few_categories(self):
+        categories = ["x", "y"]
+        eps, n = 1.0, 10_000
+        krr = KRandomizedResponse(categories, epsilon=eps)
+        unary = UnaryEncoding(categories, epsilon=eps)
+        assert krr.estimator_variance(n) < unary.estimator_variance(n)

@@ -1,0 +1,246 @@
+"""Unit tests for private regression and density estimation (future-work
+extensions the paper announces in Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.learning import LinearRegressionTask, RidgeRegressionModel
+from repro.private_learning import (
+    GibbsDensityEstimator,
+    GibbsRidgeRegression,
+    LaplaceHistogramDensity,
+    SufficientStatisticsRidge,
+    beta_shape_family,
+    coefficient_grid,
+    discretize_density,
+)
+
+
+@pytest.fixture
+def regression_data():
+    task = LinearRegressionTask([0.8, -0.5], noise=0.1)
+    x, y = task.sample(600, random_state=0)
+    return task, x, np.clip(y, -1.0, 1.0)
+
+
+class TestCoefficientGrid:
+    def test_lattice_size(self):
+        grid = coefficient_grid(2, radius=1.0, points_per_axis=5)
+        assert len(grid) == 25
+
+    def test_contains_extremes_and_origin(self):
+        grid = coefficient_grid(2, radius=1.0, points_per_axis=3)
+        assert (0.0, 0.0) in grid
+        assert (1.0, 1.0) in grid
+        assert (-1.0, -1.0) in grid
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValidationError):
+            coefficient_grid(0, 1.0, 3)
+        with pytest.raises(ValidationError):
+            coefficient_grid(2, 1.0, 1)
+
+
+class TestGibbsRidgeRegression:
+    def test_learns_at_large_epsilon(self, regression_data):
+        task, x, y = regression_data
+        model = GibbsRidgeRegression(
+            2, epsilon=100.0, sample_size=len(y), points_per_axis=9
+        ).fit(x, y, random_state=1)
+        # Within one lattice step of the truth in each coordinate.
+        assert np.abs(model.coefficients - task.theta_star).max() <= 0.5 + 1e-9
+
+    def test_mse_beats_zero_predictor_at_large_epsilon(self, regression_data):
+        _, x, y = regression_data
+        model = GibbsRidgeRegression(
+            2, epsilon=100.0, sample_size=len(y)
+        ).fit(x, y, random_state=2)
+        assert model.mean_squared_error(x, y) < float((y**2).mean())
+
+    def test_posterior_flat_at_tiny_epsilon(self, regression_data):
+        _, x, y = regression_data
+        model = GibbsRidgeRegression(
+            2, epsilon=1e-5, sample_size=len(y), points_per_axis=5
+        )
+        dist = model.output_distribution(x, y)
+        assert dist.entropy() == pytest.approx(np.log(25), abs=1e-3)
+
+    def test_temperature_calibration(self):
+        model = GibbsRidgeRegression(
+            2, epsilon=1.0, sample_size=100, loss_ceiling=4.0
+        )
+        # λ = ε·n / (2·loss_range) = 100 / 8.
+        assert model.temperature == pytest.approx(12.5)
+
+    def test_rejects_unclipped_features(self):
+        model = GibbsRidgeRegression(2, 1.0, 4)
+        x = np.array([[2.0, 0.0]] * 4)
+        y = np.zeros(4)
+        with pytest.raises(ValidationError):
+            model.fit(x, y, random_state=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            GibbsRidgeRegression(2, 1.0, 4).predict(np.zeros((1, 2)))
+
+
+class TestSufficientStatisticsRidge:
+    def test_approaches_nonprivate_at_large_epsilon(self, regression_data):
+        _, x, y = regression_data
+        nonprivate = RidgeRegressionModel(regularization=0.01).fit(x, y)
+        private = SufficientStatisticsRidge(
+            2, epsilon=1000.0, regularization=0.01
+        ).fit(x, y, random_state=3)
+        assert private.coefficients == pytest.approx(
+            nonprivate.coefficients, abs=0.05
+        )
+
+    def test_noise_dominates_at_tiny_epsilon(self, regression_data):
+        _, x, y = regression_data
+        nonprivate = RidgeRegressionModel(regularization=0.01).fit(x, y)
+        gaps = []
+        for seed in range(5):
+            private = SufficientStatisticsRidge(
+                2, epsilon=0.001, regularization=0.01
+            ).fit(x, y, random_state=seed)
+            gaps.append(
+                np.linalg.norm(private.coefficients - nonprivate.coefficients)
+            )
+        assert min(gaps) > 0.1
+
+    def test_mse_improves_with_epsilon(self, regression_data):
+        task, x, y = regression_data
+        x_test, y_test = task.sample(2_000, random_state=50)
+        y_test = np.clip(y_test, -1, 1)
+
+        def mean_mse(epsilon):
+            values = []
+            for seed in range(10):
+                model = SufficientStatisticsRidge(
+                    2, epsilon=epsilon, regularization=0.01
+                ).fit(x, y, random_state=seed)
+                values.append(model.mean_squared_error(x_test, y_test))
+            return float(np.mean(values))
+
+        assert mean_mse(100.0) < mean_mse(0.05)
+
+    def test_rejects_unbounded_targets(self):
+        model = SufficientStatisticsRidge(1, 1.0, y_bound=1.0)
+        x = np.array([[0.5], [0.5]])
+        y = np.array([5.0, 0.0])
+        with pytest.raises(ValidationError):
+            model.fit(x, y, random_state=0)
+
+    def test_rejects_wrong_dimension(self, regression_data):
+        _, x, y = regression_data
+        model = SufficientStatisticsRidge(3, 1.0)
+        with pytest.raises(ValidationError):
+            model.fit(x, y, random_state=0)
+
+
+class TestBetaShapeFamily:
+    def test_candidates_are_distributions(self):
+        family = beta_shape_family(8, [(2.0, 2.0), (1.0, 3.0)])
+        for candidate in family:
+            probs = np.asarray(candidate)
+            assert probs.sum() == pytest.approx(1.0)
+            assert (probs > 0).all()
+
+    def test_symmetric_shape_is_symmetric(self):
+        (candidate,) = beta_shape_family(10, [(3.0, 3.0)])
+        probs = np.asarray(candidate)
+        assert probs == pytest.approx(probs[::-1])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValidationError):
+            beta_shape_family(8, [(0.0, 1.0)])
+        with pytest.raises(ValidationError):
+            beta_shape_family(1, [(1.0, 1.0)])
+
+
+class TestGibbsDensityEstimator:
+    @pytest.fixture
+    def skewed_data(self):
+        rng = np.random.default_rng(4)
+        return rng.beta(8.0, 2.0, size=800)
+
+    def test_picks_the_right_shape_at_large_epsilon(self, skewed_data):
+        est = GibbsDensityEstimator(epsilon=50.0, sample_size=len(skewed_data))
+        est.fit(skewed_data, random_state=5)
+        reference = discretize_density(
+            lambda x: x**7 * (1 - x) if 0 < x < 1 else 0.0, est.bins
+        )
+        assert est.total_variation_to(reference) < 0.25
+
+    def test_posterior_flat_at_tiny_epsilon(self, skewed_data):
+        est = GibbsDensityEstimator(epsilon=1e-5, sample_size=len(skewed_data))
+        dist = est.output_distribution(skewed_data)
+        assert dist.entropy() == pytest.approx(
+            np.log(len(est.candidates)), abs=1e-3
+        )
+
+    def test_pdf_integrates_to_one(self, skewed_data):
+        est = GibbsDensityEstimator(epsilon=10.0, sample_size=len(skewed_data))
+        est.fit(skewed_data, random_state=6)
+        xs = np.linspace(0, 1, 10_001)[:-1] + 0.5e-4
+        assert np.mean(est.pdf(xs)) == pytest.approx(1.0, abs=0.01)
+
+    def test_rejects_out_of_range_data(self):
+        est = GibbsDensityEstimator(epsilon=1.0, sample_size=3)
+        with pytest.raises(ValidationError):
+            est.fit([0.5, 1.5, 0.2], random_state=0)
+
+
+class TestLaplaceHistogramDensity:
+    def test_recovers_distribution_at_large_epsilon(self):
+        rng = np.random.default_rng(7)
+        data = rng.beta(2.0, 5.0, size=20_000)
+        est = LaplaceHistogramDensity(epsilon=100.0, bins=16).fit(
+            data, random_state=8
+        )
+        reference = discretize_density(
+            lambda x: 30 * x * (1 - x) ** 4 if 0 < x < 1 else 0.0, 16
+        )
+        assert est.total_variation_to(reference) < 0.05
+
+    def test_noise_dominates_at_tiny_epsilon(self):
+        rng = np.random.default_rng(9)
+        data = rng.beta(2.0, 5.0, size=200)
+        uniform = np.full(16, 1 / 16)
+        est = LaplaceHistogramDensity(epsilon=0.001, bins=16).fit(
+            data, random_state=10
+        )
+        # With this much noise the estimate is far from the truth.
+        reference = discretize_density(
+            lambda x: 30 * x * (1 - x) ** 4 if 0 < x < 1 else 0.0, 16
+        )
+        assert est.total_variation_to(reference) > 0.2 or est.total_variation_to(
+            uniform
+        ) < 0.4
+
+    def test_probabilities_normalized(self):
+        rng = np.random.default_rng(11)
+        est = LaplaceHistogramDensity(epsilon=1.0).fit(
+            rng.uniform(size=100), random_state=12
+        )
+        assert est.bin_probabilities.sum() == pytest.approx(1.0)
+        assert (est.bin_probabilities >= 0).all()
+
+    def test_pdf_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LaplaceHistogramDensity(epsilon=1.0).pdf([0.5])
+
+
+class TestDiscretizeDensity:
+    def test_uniform_density(self):
+        probs = discretize_density(lambda x: 1.0, 4)
+        assert probs == pytest.approx([0.25] * 4)
+
+    def test_rejects_negative_pdf(self):
+        with pytest.raises(ValidationError):
+            discretize_density(lambda x: -1.0, 4)
+
+    def test_normalizes_unnormalized_pdf(self):
+        probs = discretize_density(lambda x: 7.0, 8)
+        assert probs.sum() == pytest.approx(1.0)

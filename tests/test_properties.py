@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) for the paper's core invariants.
+
+These run randomized instances through the *structural* facts everything
+else depends on: DP inequalities, information inequalities, Gibbs
+optimality, and channel/fixed-point identities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pac_bayes import catoni_objective, gibbs_minimizer
+from repro.core.tradeoff import gibbs_channel_matrix, tradeoff_objective
+from repro.distributions import DiscreteDistribution
+from repro.information import (
+    kl_divergence,
+    max_divergence,
+    mutual_information_from_joint,
+)
+from repro.information.blahut_arimoto import rate_distortion
+
+
+def simplex(size: int):
+    return st.lists(st.floats(1e-4, 1.0), min_size=size, max_size=size).map(
+        lambda ws: np.array(ws) / sum(ws)
+    )
+
+
+def risk_vector(size: int):
+    return st.lists(st.floats(0.0, 1.0), min_size=size, max_size=size).map(
+        np.array
+    )
+
+
+def risk_matrix(rows: int, cols: int):
+    return st.lists(
+        st.floats(0.0, 1.0), min_size=rows * cols, max_size=rows * cols
+    ).map(lambda vs: np.array(vs).reshape(rows, cols))
+
+
+class TestGibbsTiltPrivacyProperty:
+    """The algebraic heart of Theorem 4.1: tilting any prior by two risk
+    vectors that differ by at most Δ in sup-norm produces posteriors whose
+    max divergence is at most 2λΔ."""
+
+    @settings(max_examples=60)
+    @given(simplex(5), risk_vector(5), risk_vector(5), st.floats(0.1, 20.0))
+    def test_tilt_privacy_inequality(self, prior_probs, risks_a, risks_b, lam):
+        delta = float(np.abs(risks_a - risks_b).max())
+        prior = DiscreteDistribution(range(5), prior_probs)
+        post_a = prior.tilt(-lam * risks_a)
+        post_b = prior.tilt(-lam * risks_b)
+        bound = 2.0 * lam * delta
+        assert max_divergence(post_a, post_b) <= bound + 1e-7
+        assert max_divergence(post_b, post_a) <= bound + 1e-7
+
+
+class TestGibbsOptimalityProperty:
+    """Lemma 3.2 on random instances: no random posterior beats Gibbs."""
+
+    @settings(max_examples=40)
+    @given(
+        simplex(4),
+        risk_vector(4),
+        st.floats(0.1, 30.0),
+        simplex(4),
+    )
+    def test_gibbs_minimizes(self, prior_probs, risks, lam, competitor_probs):
+        prior = DiscreteDistribution(range(4), prior_probs)
+        competitor = DiscreteDistribution(range(4), competitor_probs)
+        gibbs = gibbs_minimizer(prior, risks, lam)
+        assert catoni_objective(gibbs, prior, risks, lam) <= (
+            catoni_objective(competitor, prior, risks, lam) + 1e-9
+        )
+
+
+class TestTradeoffProperty:
+    """Theorem 4.2 on random instances: the BA optimum beats the Gibbs
+    channel built on any *other* prior, and its rows ARE Gibbs rows."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(simplex(3), risk_matrix(3, 4), st.floats(0.2, 10.0), simplex(4))
+    def test_ba_beats_fixed_prior_gibbs(
+        self, source, risks, epsilon, other_prior
+    ):
+        result = rate_distortion(source, risks, beta=epsilon)
+        optimum = result.rate / epsilon + result.distortion  # J = I/ε + E R̂
+
+        other_channel = gibbs_channel_matrix(other_prior, risks, epsilon)
+        other_value = tradeoff_objective(other_channel, source, risks, epsilon)
+        assert optimum <= other_value + 1e-7
+
+    @settings(max_examples=25, deadline=None)
+    @given(simplex(3), risk_matrix(3, 4), st.floats(0.2, 10.0))
+    def test_fixed_point_rows_are_gibbs(self, source, risks, epsilon):
+        result = rate_distortion(source, risks, beta=epsilon)
+        gibbs = gibbs_channel_matrix(
+            result.output_distribution, risks, epsilon
+        )
+        assert np.abs(result.channel_matrix - gibbs).max() < 1e-5
+
+
+class TestInformationInequalities:
+    @settings(max_examples=60)
+    @given(simplex(12))
+    def test_mi_nonnegative_any_joint(self, flat):
+        joint = np.asarray(flat).reshape(3, 4)
+        assert mutual_information_from_joint(joint) >= 0.0
+
+    @settings(max_examples=60)
+    @given(simplex(4), simplex(4), simplex(4))
+    def test_kl_convexity_in_first_argument(self, p1, p2, q):
+        """KL(λp1+(1-λ)p2 ‖ q) <= λKL(p1‖q) + (1-λ)KL(p2‖q)."""
+        lam = 0.3
+        mix = lam * np.asarray(p1) + (1 - lam) * np.asarray(p2)
+        lhs = kl_divergence(mix / mix.sum(), q)
+        rhs = lam * kl_divergence(p1, q) + (1 - lam) * kl_divergence(p2, q)
+        assert lhs <= rhs + 1e-9
+
+    @settings(max_examples=60)
+    @given(simplex(5), simplex(5))
+    def test_max_divergence_dominates_kl(self, p, q):
+        assert kl_divergence(p, q) <= max_divergence(p, q) + 1e-9
+
+
+class TestCompositionProperty:
+    @settings(max_examples=40)
+    @given(
+        simplex(4),
+        risk_vector(4),
+        risk_vector(4),
+        st.floats(0.1, 5.0),
+        st.floats(0.1, 5.0),
+    )
+    def test_sequential_tilts_compose_additively(
+        self, prior_probs, risks_a, risks_b, lam_a, lam_b
+    ):
+        """Releasing two Gibbs outputs sequentially is itself a tilt whose
+        privacy parameters add — basic composition, verified exactly on
+        the product output law."""
+        prior = DiscreteDistribution(range(4), prior_probs)
+        # Joint law of two independent releases = product of posteriors.
+        post_a1 = prior.tilt(-lam_a * risks_a)
+        post_a2 = prior.tilt(-lam_b * risks_a)
+        post_b1 = prior.tilt(-lam_a * risks_b)
+        post_b2 = prior.tilt(-lam_b * risks_b)
+        joint_a = post_a1.product(post_a2)
+        joint_b = post_b1.product(post_b2)
+        delta = float(np.abs(np.asarray(risks_a) - np.asarray(risks_b)).max())
+        budget = 2.0 * (lam_a + lam_b) * delta
+        assert max_divergence(joint_a, joint_b) <= budget + 1e-7
+
+
+class TestChannelPostprocessing:
+    @settings(max_examples=30)
+    @given(simplex(3), risk_matrix(3, 3), st.floats(0.5, 5.0))
+    def test_post_processing_cannot_increase_privacy_loss(
+        self, prior, risks, lam
+    ):
+        """Pushing a Gibbs posterior through any deterministic map keeps
+        the max divergence bounded by the original — DP's closure under
+        post-processing, checked on the pushforward."""
+        base = DiscreteDistribution(range(3), prior)
+        post_a = base.tilt(-lam * risks[0])
+        post_b = base.tilt(-lam * risks[1])
+        original = max_divergence(post_a, post_b)
+        mapped_a = post_a.map(lambda i: i % 2)
+        mapped_b = post_b.map(lambda i: i % 2)
+        assert max_divergence(mapped_a, mapped_b) <= original + 1e-9

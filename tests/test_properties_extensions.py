@@ -1,0 +1,135 @@
+"""Property-based tests for the extension subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import DiscreteDistribution
+from repro.information import renyi_divergence
+from repro.mechanisms.histogram import LinearQueryWorkload
+from repro.privacy import (
+    KRandomizedResponse,
+    dp_tradeoff_curve,
+    rdp_of_pure_dp,
+)
+from repro.privacy.local import UnaryEncoding
+
+
+def simplex(size: int):
+    return st.lists(st.floats(1e-4, 1.0), min_size=size, max_size=size).map(
+        lambda ws: np.array(ws) / sum(ws)
+    )
+
+
+class TestTiltAlgebra:
+    @settings(max_examples=50)
+    @given(
+        simplex(4),
+        st.lists(st.floats(-5, 5), min_size=4, max_size=4),
+        st.lists(st.floats(-5, 5), min_size=4, max_size=4),
+    )
+    def test_tilts_compose_additively(self, prior, a, b):
+        """tilt(a) then tilt(b) equals tilt(a+b) — the group structure the
+        Gibbs temperature algebra relies on."""
+        dist = DiscreteDistribution(range(4), prior)
+        sequential = dist.tilt(a).tilt(b)
+        combined = dist.tilt(np.asarray(a) + np.asarray(b))
+        assert sequential.probabilities == pytest.approx(
+            combined.probabilities, abs=1e-10
+        )
+
+
+class TestLocalDpDebiasing:
+    @settings(max_examples=40)
+    @given(simplex(4), st.floats(0.2, 4.0))
+    def test_krr_estimator_inverts_expectation(self, freqs, epsilon):
+        """E[observed] = q + (p-q)·f; the estimator applied to that exact
+        expectation must return f — unbiasedness as an algebraic identity."""
+        mech = KRandomizedResponse(range(4), epsilon=epsilon)
+        p, q = mech.truth_probability, mech.lie_probability
+        expected_observed = q + (p - q) * np.asarray(freqs)
+        recovered = (expected_observed - q) / (p - q)
+        assert recovered == pytest.approx(np.asarray(freqs), abs=1e-12)
+
+    @settings(max_examples=40)
+    @given(simplex(5), st.floats(0.2, 4.0))
+    def test_unary_estimator_inverts_expectation(self, freqs, epsilon):
+        mech = UnaryEncoding(range(5), epsilon=epsilon)
+        p, q = mech.keep_probability, mech.flip_probability
+        expected_bits = q + (p - q) * np.asarray(freqs)
+        matrix = np.tile(expected_bits, (10, 1))
+        assert mech.estimate_frequencies(matrix) == pytest.approx(
+            np.asarray(freqs), abs=1e-12
+        )
+
+
+class TestWorkloadLinearity:
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.floats(-10, 10), min_size=4, max_size=4),
+        st.lists(st.floats(-10, 10), min_size=4, max_size=4),
+    )
+    def test_answers_are_linear(self, counts_a, counts_b):
+        workload = LinearQueryWorkload.all_range_queries(range(4))
+        combined = workload.answer(np.asarray(counts_a) + np.asarray(counts_b))
+        separate = workload.answer(counts_a) + workload.answer(counts_b)
+        assert combined == pytest.approx(separate, abs=1e-9)
+
+
+class TestRdpProperties:
+    @settings(max_examples=40)
+    @given(st.floats(0.05, 3.0), st.floats(1.1, 50.0))
+    def test_pure_dp_curve_below_epsilon(self, epsilon, alpha):
+        assert rdp_of_pure_dp(epsilon, alpha).rho <= epsilon + 1e-12
+
+    @settings(max_examples=40)
+    @given(st.floats(0.05, 3.0), st.floats(1.1, 20.0), st.floats(1.2, 2.0))
+    def test_pure_dp_curve_monotone_in_alpha(self, epsilon, alpha, factor):
+        low = rdp_of_pure_dp(epsilon, alpha).rho
+        high = rdp_of_pure_dp(epsilon, alpha * factor).rho
+        assert low <= high + 1e-12
+
+    @settings(max_examples=30)
+    @given(st.floats(0.05, 2.0), st.floats(1.5, 20.0))
+    def test_conversion_epsilon_decreasing_in_delta(self, epsilon, alpha):
+        spec = rdp_of_pure_dp(epsilon, alpha)
+        tight = spec.to_approximate_dp(1e-8).epsilon
+        loose = spec.to_approximate_dp(1e-2).epsilon
+        assert loose <= tight
+
+    @settings(max_examples=30)
+    @given(simplex(3), simplex(3), st.floats(1.2, 10.0))
+    def test_renyi_joint_quasi_convexity_instance(self, p, q, alpha):
+        """Mixing both arguments with a common third distribution cannot
+        increase Rényi divergence (checked at mix weight ½ against the
+        uniform)."""
+        u = np.full(3, 1 / 3)
+        base = renyi_divergence(p, q, alpha)
+        mixed = renyi_divergence(
+            0.5 * np.asarray(p) + 0.5 * u, 0.5 * np.asarray(q) + 0.5 * u, alpha
+        )
+        assert mixed <= max(base, 0.0) + 1e-9
+
+
+class TestTradeoffCurveProperties:
+    @settings(max_examples=40)
+    @given(st.floats(0.05, 5.0))
+    def test_curve_is_convex_and_decreasing(self, epsilon):
+        alphas = np.linspace(0, 1, 41)
+        betas = dp_tradeoff_curve(epsilon, alphas)
+        # Decreasing.
+        assert all(a >= b - 1e-12 for a, b in zip(betas, betas[1:]))
+        # Convex: midpoint below chord.
+        for i in range(1, 40):
+            chord = 0.5 * (betas[i - 1] + betas[i + 1])
+            assert betas[i] <= chord + 1e-12
+
+    @settings(max_examples=40)
+    @given(st.floats(0.05, 5.0), st.floats(0.0, 1.0))
+    def test_curve_symmetric_fixed_point(self, epsilon, alpha):
+        """β(α) and the inverse tradeoff agree: the curve is its own
+        conjugate under (α, β) ↔ (β, α) for pure DP."""
+        beta = float(dp_tradeoff_curve(epsilon, [alpha])[0])
+        back = float(dp_tradeoff_curve(epsilon, [beta])[0])
+        assert back <= alpha + 1e-9

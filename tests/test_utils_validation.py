@@ -1,0 +1,117 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotNormalizedError, ValidationError
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_positive,
+    check_probability_vector,
+    check_random_state,
+)
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = check_random_state(42).uniform()
+        b = check_random_state(42).uniform()
+        assert a == b
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_legacy_random_state_is_bridged(self):
+        legacy = np.random.RandomState(0)
+        assert isinstance(check_random_state(legacy), np.random.Generator)
+
+    def test_bad_seed_raises(self):
+        with pytest.raises(ValidationError):
+            check_random_state("not a seed")
+
+
+class TestCheckArray:
+    def test_coerces_lists(self):
+        arr = check_array([1, 2, 3])
+        assert arr.dtype == float
+        assert arr.shape == (3,)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            check_array([1.0, 2.0], ndim=2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_array([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_array([np.inf])
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(ValidationError, match="empty"):
+            check_array([])
+
+    def test_allows_empty_when_asked(self):
+        assert check_array([], allow_empty=True).size == 0
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5) == 2.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValidationError):
+            check_positive(0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive(0.0, strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive(-1.0, strict=False)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_positive(np.inf)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValidationError):
+            check_positive("three")
+
+
+class TestCheckInRange:
+    def test_inclusive_endpoints(self):
+        assert check_in_range(0.0, low=0.0, high=1.0) == 0.0
+        assert check_in_range(1.0, low=0.0, high=1.0) == 1.0
+
+    def test_exclusive_endpoints_rejected(self):
+        with pytest.raises(ValidationError):
+            check_in_range(0.0, low=0.0, high=1.0, inclusive=False)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            check_in_range(1.5, low=0.0, high=1.0)
+
+
+class TestCheckProbabilityVector:
+    def test_valid_vector_renormalized_exactly(self):
+        out = check_probability_vector([0.25, 0.75])
+        assert out.sum() == pytest.approx(1.0, abs=0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="nonnegative"):
+            check_probability_vector([-0.1, 1.1])
+
+    def test_rejects_not_summing_to_one(self):
+        with pytest.raises(NotNormalizedError):
+            check_probability_vector([0.5, 0.4])
+
+    def test_accepts_within_tolerance(self):
+        out = check_probability_vector([0.5, 0.5 + 1e-10])
+        assert out.sum() == pytest.approx(1.0)

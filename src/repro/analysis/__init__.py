@@ -1,0 +1,65 @@
+"""``dplint`` — static analysis for differential-privacy correctness.
+
+A self-contained AST-based linter enforcing the library's privacy
+invariants: RNG injection discipline, mandatory ε/δ/sensitivity
+validation, sanctioned-sampler usage, no silent exception swallowing,
+explicit ``__all__`` export surfaces, and documented parameter contracts.
+
+Run it as ``python -m repro.analysis src/repro`` or ``repro lint``; see
+``docs/STATIC_ANALYSIS.md`` for the rule catalog and the DP failure mode
+each rule guards against.
+"""
+
+from repro.analysis.base import ImportTracker, ModuleContext, Rule, dotted_name
+from repro.analysis.config import AnalysisConfig, RuleConfig
+from repro.analysis.engine import (
+    AnalysisReport,
+    Analyzer,
+    analyze_paths,
+    analyze_source,
+    package_parts,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.pragmas import (
+    Pragma,
+    SuppressionIndex,
+    pragma_findings,
+    scan_pragmas,
+)
+from repro.analysis.registry import all_rules, get_rule, known_rule_keys, register
+from repro.analysis.reporting import (
+    FORMATS,
+    format_json,
+    format_report,
+    format_rule_catalog,
+    format_text,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisReport",
+    "Analyzer",
+    "FORMATS",
+    "Finding",
+    "ImportTracker",
+    "ModuleContext",
+    "Pragma",
+    "Rule",
+    "RuleConfig",
+    "Severity",
+    "SuppressionIndex",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "dotted_name",
+    "format_json",
+    "format_report",
+    "format_rule_catalog",
+    "format_text",
+    "get_rule",
+    "known_rule_keys",
+    "package_parts",
+    "pragma_findings",
+    "register",
+    "scan_pragmas",
+]

@@ -1,0 +1,112 @@
+"""``python -m repro.analysis`` — run dplint from the command line."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import Analyzer
+from repro.analysis.registry import known_rule_keys
+from repro.analysis.reporting import FORMATS, format_report, format_rule_catalog
+from repro.exceptions import ValidationError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser shared with the ``repro lint`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "dplint: static analysis of differential-privacy invariants "
+            "(RNG discipline, parameter validation, sampler hygiene)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: the installed "
+        "repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="run only these rules (id or name; repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="skip these rules (id or name; repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def default_target() -> str:
+    """The installed ``repro`` package directory (lintable from anywhere)."""
+    import repro
+
+    return str(next(iter(repro.__path__)))
+
+
+def execute(args: argparse.Namespace) -> int:
+    """Shared implementation behind ``python -m repro.analysis`` and
+    ``repro lint``: run the analyzer per parsed arguments, print the
+    report, return a process exit code (0 clean, 1 findings, 2 usage).
+    """
+    if args.list_rules:
+        print(format_rule_catalog())
+        return 0
+    known = known_rule_keys()
+    unknown = sorted(
+        {key for key in [*args.select, *args.ignore] if key not in known}
+    )
+    if unknown:
+        # A typo'd --select would otherwise select nothing and exit 0,
+        # silently passing a CI gate.
+        print(
+            f"dplint: unknown rule(s): {', '.join(unknown)}; "
+            "see --list-rules for the catalog",
+            file=sys.stderr,
+        )
+        return 2
+    config = AnalysisConfig(
+        select=frozenset(args.select), ignore=frozenset(args.ignore)
+    )
+    paths = args.paths or [default_target()]
+    try:
+        report = Analyzer(config=config).analyze_paths(paths)
+    except ValidationError as error:
+        print(f"dplint: {error}", file=sys.stderr)
+        return 2
+    print(format_report(report, args.format))
+    return report.exit_code
+
+
+def run(argv: Sequence[str] | None = None) -> int:
+    """Parse arguments and run the analyzer (console entry point).
+
+    Parameters
+    ----------
+    argv:
+        Argument list (defaults to ``sys.argv[1:]``).
+    """
+    return execute(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,0 +1,92 @@
+"""Per-rule configuration for the ``dplint`` analyzer.
+
+Every rule ships usable defaults (see each rule's ``default_options``);
+:class:`AnalysisConfig` lets callers enable/disable rules, override a rule's
+severity, and override individual rule options without touching rule code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Severity
+
+
+@dataclass
+class RuleConfig:
+    """Configuration overrides for a single rule.
+
+    Parameters
+    ----------
+    enabled:
+        Whether the rule runs at all.
+    severity:
+        Override for the rule's default severity (``None`` keeps it).
+    options:
+        Rule-specific option overrides, merged over ``default_options``.
+    """
+
+    enabled: bool = True
+    severity: Severity | None = None
+    options: dict = field(default_factory=dict)
+
+
+@dataclass
+class AnalysisConfig:
+    """Engine-wide configuration.
+
+    Parameters
+    ----------
+    rules:
+        Mapping from rule id (``"DPL001"``) to its :class:`RuleConfig`.
+        Rules absent from the mapping run with pure defaults.
+    select:
+        When non-empty, only these rule ids/names run.
+    ignore:
+        Rule ids/names that never run (wins over ``select``).
+    exclude_parts:
+        Path components that exclude a file from analysis entirely.
+    require_pragma_justification:
+        When true, a ``# dplint: disable=...`` pragma without trailing
+        justification text is itself reported (rule ``DPL000``).
+    """
+
+    rules: dict[str, RuleConfig] = field(default_factory=dict)
+    select: frozenset[str] = frozenset()
+    ignore: frozenset[str] = frozenset()
+    exclude_parts: frozenset[str] = frozenset(
+        {".git", "__pycache__", ".venv", "build", "dist", "egg-info"}
+    )
+    require_pragma_justification: bool = True
+
+    def rule_config(self, rule_id: str) -> RuleConfig:
+        """The (possibly default) :class:`RuleConfig` for ``rule_id``."""
+        return self.rules.setdefault(rule_id, RuleConfig())
+
+    def is_enabled(self, rule_id: str, rule_name: str) -> bool:
+        """Whether a rule should run under select/ignore/enabled settings."""
+        keys = {rule_id, rule_name}
+        if keys & self.ignore:
+            return False
+        if self.select and not (keys & self.select):
+            return False
+        return self.rule_config(rule_id).enabled
+
+    def rule_option(self, rule_id: str, option: str, default):
+        """Resolve one option for a rule: override if present, else default.
+
+        Parameters
+        ----------
+        rule_id:
+            Rule whose option is read.
+        option:
+            Option name as declared in the rule's ``default_options``.
+        default:
+            Value used when no override exists.
+        """
+        return self.rule_config(rule_id).options.get(option, default)
+
+    def severity_for(self, rule_id: str, default: Severity) -> Severity:
+        """The effective severity for a rule."""
+        override = self.rule_config(rule_id).severity
+        return default if override is None else override

@@ -1,0 +1,246 @@
+"""The ``dplint`` engine: file collection, rule dispatch, suppression.
+
+:class:`Analyzer` walks the requested paths, parses each Python file once,
+runs every enabled rule over the shared AST, filters findings through the
+inline-pragma suppression index, and returns an :class:`AnalysisReport`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.pragmas import pragma_findings, scan_pragmas
+from repro.analysis.registry import all_rules, known_rule_keys
+from repro.exceptions import ValidationError
+
+#: Root package name used to resolve a file's location inside the library.
+PACKAGE_ROOT = "repro"
+
+
+def package_parts(path: str) -> tuple[str, ...]:
+    """Path components below the ``repro`` package root.
+
+    For ``/repo/src/repro/mechanisms/laplace.py`` this is
+    ``("mechanisms", "laplace.py")``. Synthetic relative paths used by the
+    rule unit tests (``"mechanisms/snippet.py"``) pass through unchanged,
+    so fixtures can target package-scoped rules without a real tree.
+
+    Parameters
+    ----------
+    path:
+        Absolute or relative path to a Python file.
+    """
+    parts = Path(path).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == PACKAGE_ROOT:
+            below = parts[index + 1 :]
+            if below:
+                return below
+    return parts
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analyzer run.
+
+    Parameters
+    ----------
+    findings:
+        Unsuppressed findings, sorted by location.
+    files_checked:
+        Number of Python files parsed.
+    suppressed_count:
+        Findings hidden by ``# dplint: disable`` pragmas.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed_count: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no findings survived suppression."""
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 clean, 1 findings."""
+        return 0 if self.ok else 1
+
+    def count_by_severity(self) -> dict[str, int]:
+        """Finding counts keyed by severity name."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            key = str(finding.severity)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def count_by_rule(self) -> dict[str, int]:
+        """Finding counts keyed by rule id."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+
+class Analyzer:
+    """Run the registered rules over files, directories, or raw source.
+
+    Parameters
+    ----------
+    config:
+        Analysis configuration; defaults to :class:`AnalysisConfig` with
+        every rule enabled at its default options.
+    rules:
+        Rule classes to run; defaults to the full registry.
+    """
+
+    def __init__(
+        self,
+        config: AnalysisConfig | None = None,
+        rules: Sequence[type[Rule]] | None = None,
+    ) -> None:
+        self.config = config or AnalysisConfig()
+        rule_classes = list(rules) if rules is not None else all_rules()
+        self.rules: list[Rule] = [
+            rule_class()
+            for rule_class in rule_classes
+            if self.config.is_enabled(rule_class.id, rule_class.name)
+        ]
+        self._known_keys = known_rule_keys()
+
+    def analyze_paths(self, paths: Iterable[str]) -> AnalysisReport:
+        """Analyze files and directories (recursively, ``*.py`` only).
+
+        Parameters
+        ----------
+        paths:
+            Files or directories; directories are walked recursively,
+            skipping components in ``config.exclude_parts``.
+        """
+        report = AnalysisReport()
+        for file_path in self._collect(paths):
+            self._analyze_into(
+                report, file_path.read_text(encoding="utf-8"), str(file_path)
+            )
+        report.findings.sort()
+        return report
+
+    def analyze_source(self, source: str, path: str) -> AnalysisReport:
+        """Analyze one in-memory module as if it lived at ``path``.
+
+        Parameters
+        ----------
+        source:
+            Python source text.
+        path:
+            Path used for findings *and* for package-scoping rules, e.g.
+            ``"mechanisms/snippet.py"``.
+        """
+        report = AnalysisReport()
+        self._analyze_into(report, source, path)
+        report.findings.sort()
+        return report
+
+    # -- internals -------------------------------------------------------
+
+    def _collect(self, paths: Iterable[str]) -> list[Path]:
+        collected: list[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                for candidate in sorted(path.rglob("*.py")):
+                    if not self._excluded(candidate):
+                        collected.append(candidate)
+            elif path.is_file():
+                collected.append(path)
+            else:
+                raise ValidationError(f"no such file or directory: {raw}")
+        return collected
+
+    def _excluded(self, path: Path) -> bool:
+        exclude = self.config.exclude_parts
+        return any(
+            any(marker in part for marker in exclude) for part in path.parts
+        )
+
+    def _analyze_into(
+        self, report: AnalysisReport, source: str, path: str
+    ) -> None:
+        report.files_checked += 1
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            report.findings.append(
+                Finding(
+                    path=path,
+                    line=error.lineno or 1,
+                    column=(error.offset or 1) - 1,
+                    rule_id="DPL999",
+                    rule_name="syntax-error",
+                    severity=Severity.ERROR,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            return
+        ctx = ModuleContext(
+            path=path,
+            tree=tree,
+            source_lines=source.splitlines(),
+            package_parts=package_parts(path),
+            config=self.config,
+        )
+        suppressions = scan_pragmas(source)
+        for rule in self.rules:
+            for finding in rule.check(ctx):
+                keys = frozenset((finding.rule_id, finding.rule_name))
+                if suppressions.suppresses(finding.line, keys):
+                    report.suppressed_count += 1
+                else:
+                    report.findings.append(finding)
+        report.findings.extend(
+            pragma_findings(
+                path,
+                suppressions,
+                self._known_keys,
+                require_justification=self.config.require_pragma_justification,
+            )
+        )
+
+
+def analyze_paths(
+    paths: Iterable[str], config: AnalysisConfig | None = None
+) -> AnalysisReport:
+    """Convenience wrapper: run the default analyzer over ``paths``.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to analyze.
+    config:
+        Optional configuration override.
+    """
+    return Analyzer(config=config).analyze_paths(paths)
+
+
+def analyze_source(
+    source: str, path: str, config: AnalysisConfig | None = None
+) -> AnalysisReport:
+    """Convenience wrapper: analyze one in-memory module.
+
+    Parameters
+    ----------
+    source:
+        Python source text.
+    path:
+        Virtual path controlling finding addresses and package scoping.
+    config:
+        Optional configuration override.
+    """
+    return Analyzer(config=config).analyze_source(source, path)

@@ -1,0 +1,93 @@
+"""Finding and severity model for the ``dplint`` static analyzer.
+
+A :class:`Finding` is one rule violation, addressed ``path:line:column`` so
+editors and CI logs can jump straight to the offending code. Findings are
+plain data — formatting lives in :mod:`repro.analysis.reporting`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering allows threshold filtering."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        """Parse ``"info"`` / ``"warning"`` / ``"error"`` (case-insensitive).
+
+        Parameters
+        ----------
+        name:
+            Severity name to parse.
+        """
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Parameters
+    ----------
+    path:
+        File the violation was found in (as given to the analyzer).
+    line:
+        1-based line number.
+    column:
+        0-based column offset.
+    rule_id:
+        Stable rule identifier, e.g. ``"DPL001"``.
+    rule_name:
+        Human-readable rule slug, e.g. ``"rng-discipline"``.
+    severity:
+        The finding's :class:`Severity`.
+    message:
+        One-line description of what is wrong and how to fix it.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule_id: str = field(compare=False)
+    rule_name: str = field(compare=False)
+    severity: Severity = field(compare=False)
+    message: str = field(compare=False)
+
+    @property
+    def location(self) -> str:
+        """``path:line:column`` address of this finding."""
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (used by ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule_id": self.rule_id,
+            "rule_name": self.rule_name,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.location}: {self.rule_id} [{self.rule_name}] "
+            f"{self.severity}: {self.message}"
+        )

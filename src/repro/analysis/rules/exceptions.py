@@ -1,0 +1,73 @@
+"""DPL004 ``no-silent-except`` — failures must not skip noise addition.
+
+A ``try``/``except`` that swallows an exception around a release path is a
+privacy bug waiting to happen: if the noise draw or calibration raises and
+the handler just continues, the mechanism can return an un-noised (or
+under-noised) value while still advertising its guarantee. Bare
+``except:`` additionally catches ``KeyboardInterrupt``/``SystemExit``,
+hiding operator aborts mid-release.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.base import ModuleContext, Rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import register
+
+
+def _is_swallowed(handler: ast.ExceptHandler) -> bool:
+    """A handler body that does nothing: only ``pass``/``...`` statements."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+@register
+class NoSilentExceptRule(Rule):
+    """Forbid bare and swallowing exception handlers in privacy code."""
+
+    id = "DPL004"
+    name = "no-silent-except"
+    description = (
+        "No bare `except:` and no exception handlers that only `pass` in "
+        "mechanism/privacy code."
+    )
+    rationale = (
+        "A swallowed exception on the release path can skip noise addition "
+        "entirely while the mechanism still reports its nominal epsilon — "
+        "the worst possible failure mode for a DP library."
+    )
+    default_severity = Severity.ERROR
+    default_options = {
+        "packages": ("mechanisms", "privacy", "private_learning", "analysis"),
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for bare or swallowing handlers."""
+        if not self.applies_to(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:` catches everything including "
+                    "KeyboardInterrupt; name the exception type",
+                )
+            elif _is_swallowed(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "exception handler silently swallows the error; on the "
+                    "release path this can skip noise addition — handle or "
+                    "re-raise",
+                )

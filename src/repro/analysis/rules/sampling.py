@@ -1,0 +1,109 @@
+"""DPL003 ``no-naive-sampling`` — heavy-tailed noise comes from one place.
+
+Hand-rolled Laplace/exponential/Gumbel draws scattered across mechanism
+code are how the classic floating-point attacks (Mironov 2012) slip in:
+``-scale * log(u)`` style transforms on double-precision uniforms produce
+an output set whose gaps distinguish neighbouring datasets. Keeping every
+heavy-tailed sampler inside :mod:`repro.distributions` gives one audited
+choke point; mechanisms must call the noise-law objects there instead of
+``rng.laplace`` / ``rng.exponential`` / ``rng.gumbel`` directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.base import ModuleContext, Rule, dotted_name
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import register
+
+
+@register
+class NoNaiveSamplingRule(Rule):
+    """Forbid direct heavy-tailed RNG method calls outside distributions/."""
+
+    id = "DPL003"
+    name = "no-naive-sampling"
+    description = (
+        "Laplace/exponential/Gumbel variates must come from the sanctioned "
+        "samplers in repro.distributions, not ad-hoc rng method calls."
+    )
+    rationale = (
+        "Naive floating-point sampling of heavy-tailed noise leaks bits of "
+        "the true value through the discrete structure of doubles "
+        "(Mironov's snapping attack); a single audited sampler module "
+        "bounds the attack surface."
+    )
+    default_severity = Severity.ERROR
+    default_options = {
+        "packages": ("mechanisms", "private_learning", "privacy", "core"),
+        # RNG method names whose direct use is reserved to the sanctioned
+        # sampler modules.
+        "methods": (
+            "laplace",
+            "exponential",
+            "standard_exponential",
+            "gumbel",
+            "standard_cauchy",
+        ),
+        # Modules (relative to the repro package root) allowed to draw
+        # heavy-tailed variates directly.
+        "sanctioned_modules": (
+            "distributions/sampling.py",
+            "distributions/continuous.py",
+            "distributions/discrete.py",
+        ),
+        # Suspicious log-of-uniform idioms: calls to log on a uniform draw.
+        "flag_log_uniform": True,
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for unsanctioned heavy-tailed draws."""
+        if not self.applies_to(ctx):
+            return
+        if ctx.module_relpath in set(self.option(ctx, "sanctioned_modules")):
+            return
+        methods = set(self.option(ctx, "methods"))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in methods
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct .{node.func.attr}() draw outside the sanctioned "
+                    "samplers; use the noise laws in repro.distributions",
+                )
+            elif self.option(ctx, "flag_log_uniform") and self._is_log_of_uniform(
+                node, ctx
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "log(uniform(...)) inverse-CDF idiom implements naive "
+                    "floating-point heavy-tailed sampling; use the "
+                    "sanctioned samplers in repro.distributions",
+                )
+
+    @staticmethod
+    def _is_log_of_uniform(node: ast.Call, ctx: ModuleContext) -> bool:
+        """Whether ``node`` is ``log(... uniform(...) ...)``."""
+        name = dotted_name(node.func)
+        if name is None:
+            return False
+        resolved = ctx.imports.resolve(name)
+        if resolved.rsplit(".", 1)[-1] not in ("log", "log1p"):
+            return False
+        for arg in node.args:
+            for child in ast.walk(arg):
+                if (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr in ("uniform", "random")
+                ):
+                    return True
+        return False

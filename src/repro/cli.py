@@ -11,6 +11,9 @@ Commands
     Bernoulli instance.
 ``release``
     One differentially-private Gibbs release on freshly sampled data.
+``lint``
+    Run dplint, the bundled static analyzer for differential-privacy
+    invariants, over the source tree.
 """
 
 from __future__ import annotations
@@ -63,6 +66,24 @@ def _build_parser() -> argparse.ArgumentParser:
     release.add_argument("--grid-size", type=int, default=21)
     release.add_argument("--p", type=float, default=0.8)
     release.add_argument("--seed", type=int, default=0)
+
+    lint = sub.add_parser(
+        "lint", help="run the dplint static analyzer over the source tree"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: the installed "
+        "repro package)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", action="append", default=[], metavar="RULE")
+    lint.add_argument("--ignore", action="append", default=[], metavar="RULE")
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
     return parser
 
 
@@ -144,11 +165,18 @@ def _cmd_release(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.__main__ import execute
+
+    return execute(args)
+
+
 _COMMANDS = {
     "experiments": _cmd_experiments,
     "audit": _cmd_audit,
     "tradeoff": _cmd_tradeoff,
     "release": _cmd_release,
+    "lint": _cmd_lint,
 }
 
 

@@ -8,8 +8,10 @@ posterior usable over continuous parameter spaces.
 
 from repro.distributions.discrete import DiscreteDistribution
 from repro.distributions.continuous import (
+    CauchyNoise,
     GammaNormVector,
     GaussianNoise,
+    GumbelNoise,
     LaplaceNoise,
     NoiseDistribution,
 )
@@ -19,9 +21,11 @@ from repro.distributions.sampling import (
 )
 
 __all__ = [
+    "CauchyNoise",
     "DiscreteDistribution",
     "GammaNormVector",
     "GaussianNoise",
+    "GumbelNoise",
     "LaplaceNoise",
     "NoiseDistribution",
     "MetropolisHastingsSampler",

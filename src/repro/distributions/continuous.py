@@ -88,6 +88,61 @@ class GaussianNoise(NoiseDistribution):
         return f"GaussianNoise(sigma={self.sigma:.6g})"
 
 
+class GumbelNoise(NoiseDistribution):
+    """Centred Gumbel law with the given scale (location 0).
+
+    Backs report-noisy-max: adding Gumbel(2Δq/ε) noise to quality scores
+    and releasing the argmax reproduces the exponential mechanism's output
+    law exactly (the Gumbel-max trick).
+    """
+
+    def __init__(self, scale: float) -> None:
+        self.scale = check_positive(scale, name="scale")
+
+    def sample(self, size=None, random_state=None):
+        rng = check_random_state(random_state)
+        return rng.gumbel(loc=0.0, scale=self.scale, size=size)
+
+    def log_density(self, value):
+        value = np.asarray(value, dtype=float)
+        z = value / self.scale
+        return -(z + np.exp(-z)) - np.log(self.scale)
+
+    def variance(self) -> float:
+        return (np.pi**2 / 6.0) * self.scale**2
+
+    def __repr__(self) -> str:
+        return f"GumbelNoise(scale={self.scale:.6g})"
+
+
+class CauchyNoise(NoiseDistribution):
+    """Centred Cauchy law with the given scale.
+
+    The smooth-sensitivity framework of Nissim, Raskhodnikova & Smith adds
+    ``(6·S(x)/ε)``-scaled Cauchy noise for pure ε-DP: the Cauchy density's
+    polynomial tails make the ratio of shifted densities bounded, which is
+    what admits a *data-dependent* noise magnitude.
+    """
+
+    def __init__(self, scale: float) -> None:
+        self.scale = check_positive(scale, name="scale")
+
+    def sample(self, size=None, random_state=None):
+        rng = check_random_state(random_state)
+        return self.scale * rng.standard_cauchy(size=size)
+
+    def log_density(self, value):
+        value = np.asarray(value, dtype=float)
+        return -np.log(np.pi * self.scale * (1.0 + (value / self.scale) ** 2))
+
+    def variance(self) -> float:
+        """Cauchy has no finite variance; returned as +inf."""
+        return float("inf")
+
+    def __repr__(self) -> str:
+        return f"CauchyNoise(scale={self.scale:.6g})"
+
+
 class GammaNormVector(NoiseDistribution):
     """Spherically-symmetric vector noise with density ``∝ exp(-‖b‖₂ / scale)``.
 

@@ -19,6 +19,7 @@ from scipy.special import digamma
 
 from repro.exceptions import ValidationError
 from repro.utils.numerics import xlogx
+from repro.utils.validation import check_random_state
 
 
 def mutual_information_from_joint(joint) -> float:
@@ -81,7 +82,9 @@ def _discretize(values: np.ndarray, bins: int) -> np.ndarray:
     return np.clip(np.searchsorted(edges, values, side="right") - 1, 0, bins - 1)
 
 
-def mutual_information_ksg(x_samples, y_samples, *, k: int = 3) -> float:
+def mutual_information_ksg(
+    x_samples, y_samples, *, k: int = 3, random_state=0
+) -> float:
     """Kraskov–Stögbauer–Grassberger estimator (algorithm 1) in nats.
 
     Suitable for continuous (or mixed-scale) data; consistent as the sample
@@ -91,6 +94,9 @@ def mutual_information_ksg(x_samples, y_samples, *, k: int = 3) -> float:
     ----------
     k:
         Number of neighbours; small k → low bias, higher variance.
+    random_state:
+        Seed or Generator for the tie-breaking jitter; the fixed default
+        keeps the estimate deterministic for a given sample.
     """
     x = np.asarray(x_samples, dtype=float)
     y = np.asarray(y_samples, dtype=float)
@@ -106,7 +112,7 @@ def mutual_information_ksg(x_samples, y_samples, *, k: int = 3) -> float:
 
     # Tiny jitter breaks ties that would otherwise make the Chebyshev
     # epsilon-ball counts degenerate on discrete-valued inputs.
-    rng = np.random.default_rng(0)
+    rng = check_random_state(random_state)
     x = x + 1e-10 * rng.standard_normal(x.shape)
     y = y + 1e-10 * rng.standard_normal(y.shape)
 

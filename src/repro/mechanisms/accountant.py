@@ -51,11 +51,13 @@ class PrivacyAccountant:
 
     @property
     def remaining_epsilon(self) -> float:
+        """Unspent ε under basic composition."""
         spent = self.spent
         return self.budget.epsilon - (spent.epsilon if spent else 0.0)
 
     @property
     def remaining_delta(self) -> float:
+        """Unspent δ under basic composition."""
         spent = self.spent
         return self.budget.delta - (spent.delta if spent else 0.0)
 

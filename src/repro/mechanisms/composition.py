@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.mechanisms.base import PrivacySpec
-from repro.utils.validation import check_in_range
+from repro.utils.validation import check_in_range, check_positive
 
 
 def _specs(specs: Sequence[PrivacySpec]) -> list[PrivacySpec]:
@@ -62,12 +62,19 @@ def advanced_composition(
 
     Sublinear in k for small ε — the reason iterative private learning is
     feasible at all.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        Per-mechanism guarantee.
+    k:
+        Number of sequential runs.
+    delta_prime:
+        Slack δ' spent to buy the sqrt(k) epsilon dependence.
     """
     if k < 1:
         raise ValidationError("k must be >= 1")
-    epsilon = float(epsilon)
-    if epsilon <= 0:
-        raise ValidationError("epsilon must be > 0")
+    epsilon = check_positive(epsilon, name="epsilon")
     delta = check_in_range(delta, name="delta", low=0.0, high=1.0)
     delta_prime = check_in_range(
         delta_prime, name="delta_prime", low=0.0, high=1.0, inclusive=False
@@ -89,6 +96,15 @@ def best_composition(
     Basic composition wins for small k or large ε; advanced wins in the
     many-query small-ε regime — the crossover is itself a useful artefact
     and is exercised in the composition tests.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        Per-mechanism guarantee.
+    k:
+        Number of sequential runs.
+    delta_prime:
+        Slack δ' offered to the advanced-composition candidate.
     """
     basic = sequential_composition([PrivacySpec(epsilon, delta)] * k)
     advanced = advanced_composition(epsilon, delta, k, delta_prime)

@@ -117,6 +117,15 @@ class NaivePrefixRelease(Mechanism):
     the prefix vector is ``T·value_sensitivity`` and each prefix needs
     ``Lap(T/ε)`` — the per-step error grows linearly in T. Exists to make
     the tree mechanism's advantage measurable.
+
+    Parameters
+    ----------
+    horizon:
+        Maximum stream length T the budget is calibrated for.
+    epsilon:
+        Total privacy budget for the whole stream.
+    value_sensitivity:
+        Largest possible change of one stream element.
     """
 
     def __init__(
@@ -132,6 +141,7 @@ class NaivePrefixRelease(Mechanism):
         )
 
     def release(self, stream, random_state=None) -> np.ndarray:
+        """All noisy prefix sums of ``stream`` in one ε-DP release."""
         values = np.asarray(stream, dtype=float)
         if values.ndim != 1 or values.shape[0] == 0:
             raise ValidationError("stream must be a nonempty 1-D array")

@@ -64,6 +64,7 @@ class ExponentialMechanism(Mechanism):
         self.outputs = tuple(outputs)
         if not self.outputs:
             raise ValidationError("outputs must not be empty")
+        epsilon = check_positive(epsilon, name="epsilon")
         self.sensitivity = check_positive(sensitivity, name="sensitivity")
         self.calibrated = bool(calibrated)
         if base_measure is None:

@@ -22,6 +22,15 @@ def gaussian_sigma(sensitivity: float, epsilon: float, delta: float) -> float:
 
     Valid for ε ≤ 1 (Dwork & Roth, Theorem A.1); we allow larger ε but the
     guarantee is then conservative only in the auditor's measured sense.
+
+    Parameters
+    ----------
+    sensitivity:
+        L2 sensitivity Δf of the query.
+    epsilon:
+        Privacy parameter.
+    delta:
+        Failure probability in (0, 1).
     """
     sensitivity = check_positive(sensitivity, name="sensitivity")
     epsilon = check_positive(epsilon, name="epsilon")

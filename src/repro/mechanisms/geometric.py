@@ -22,6 +22,15 @@ class GeometricMechanism(Mechanism):
 
     The noise N has PMF ``P(N = k) = (1-α)/(1+α) * α^{|k|}`` with
     ``α = exp(-ε / Δf)``.
+
+    Parameters
+    ----------
+    query:
+        Function mapping a dataset to an integer.
+    sensitivity:
+        Global sensitivity Δf of ``query``.
+    epsilon:
+        Privacy parameter.
     """
 
     def __init__(

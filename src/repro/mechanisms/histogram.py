@@ -19,7 +19,7 @@ import numpy as np
 from repro.distributions.continuous import LaplaceNoise
 from repro.exceptions import NotFittedError, ValidationError
 from repro.mechanisms.base import Mechanism, PrivacySpec
-from repro.utils.validation import check_random_state
+from repro.utils.validation import check_positive, check_random_state
 
 #: L1 sensitivity of a histogram under record substitution.
 HISTOGRAM_SENSITIVITY = 2.0
@@ -109,6 +109,13 @@ class LinearQueryWorkload:
     whole workload costs ε *total*, regardless of its size — the
     histogram-vs-per-query-Laplace comparison is the classic accuracy
     argument for structured releases.
+
+    Parameters
+    ----------
+    categories:
+        Ordered histogram categories the queries are expressed over.
+    queries:
+        Matrix with one row per linear query, one column per category.
     """
 
     def __init__(self, categories: Sequence, queries) -> None:
@@ -172,9 +179,15 @@ class LinearQueryWorkload:
 
         The comparison point: for m queries this error grows like m, while
         the histogram route pays only the workload's column norms.
+
+        Parameters
+        ----------
+        epsilon:
+            Total budget split evenly over the m queries.
+        sensitivity_per_query:
+            Global sensitivity of each individual query.
         """
-        if epsilon <= 0:
-            raise ValidationError("epsilon must be > 0")
+        epsilon = check_positive(epsilon, name="epsilon")
         m = len(self)
         per_query_scale = sensitivity_per_query * m / epsilon
         return float(np.sqrt(2.0) * per_query_scale)

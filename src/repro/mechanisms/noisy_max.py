@@ -14,6 +14,7 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
+from repro.distributions.continuous import GumbelNoise, LaplaceNoise
 from repro.exceptions import ValidationError
 from repro.mechanisms.base import Mechanism, PrivacySpec
 from repro.utils.validation import check_positive, check_random_state
@@ -56,18 +57,16 @@ class ReportNoisyMax(Mechanism):
         self.sensitivity = check_positive(sensitivity, name="sensitivity")
         self.noise_kind = noise
         self.noise_scale = 2.0 * self.sensitivity / self.epsilon
+        noise_law = GumbelNoise if noise == "gumbel" else LaplaceNoise
+        self.noise = noise_law(scale=self.noise_scale)
 
     def _noisy_scores(self, dataset, rng: np.random.Generator) -> np.ndarray:
         scores = np.asarray(
             [float(self.quality(dataset, u)) for u in self.outputs]
         )
-        if self.noise_kind == "gumbel":
-            # Gumbel-max trick: argmax(score + Gumbel(β)) follows the
-            # softmax(score/β) law — the exponential mechanism exactly.
-            noise = rng.gumbel(scale=self.noise_scale, size=scores.shape)
-        else:
-            noise = rng.laplace(scale=self.noise_scale, size=scores.shape)
-        return scores + noise
+        # Gumbel-max trick: argmax(score + Gumbel(β)) follows the
+        # softmax(score/β) law — the exponential mechanism exactly.
+        return scores + self.noise.sample(size=scores.shape, random_state=rng)
 
     def release(self, dataset, random_state=None):
         """The argmax candidate after noising every score once."""

@@ -39,6 +39,18 @@ def global_sensitivity(
     neighbour relation treats datasets as multisets (enumeration over
     combinations-with-replacement), which is cheaper and matches
     exchangeable queries.
+
+    Parameters
+    ----------
+    query:
+        Function mapping a dataset (list of records) to a scalar or 1-D
+        vector.
+    universe:
+        Record domain enumerated over.
+    n:
+        Dataset size.
+    ordered:
+        Whether datasets are ordered tuples (True) or multisets (False).
     """
     universe = list(universe)
     if not universe:
@@ -80,6 +92,19 @@ def estimate_sensitivity(
     Useful as a sanity check against a claimed closed form: the estimate can
     never exceed the true sensitivity, so ``estimate > claimed`` proves the
     claim wrong.
+
+    Parameters
+    ----------
+    query:
+        Function mapping a dataset to a scalar or 1-D vector.
+    sample_datasets:
+        Starting datasets the substitutions are applied to.
+    universe:
+        Record domain replacements are drawn from.
+    substitutions_per_dataset:
+        Random substitutions tried per starting dataset.
+    random_state:
+        Seed or Generator for the substitution draws.
     """
     universe = list(universe)
     rng = check_random_state(random_state)
@@ -106,6 +131,13 @@ def empirical_risk_sensitivity(loss_range: float, n: int) -> float:
     samples, replacing one sample moves ``R̂ = (1/n) Σ l(θ, z_i)`` by at most
     ``loss_range / n`` — uniformly over θ. This is the ``Δ(R̂)`` entering
     Theorem 4.1's ``2 ε Δ(R̂)`` privacy guarantee for the Gibbs estimator.
+
+    Parameters
+    ----------
+    loss_range:
+        Width of the interval the loss takes values in.
+    n:
+        Sample size.
     """
     loss_range = check_positive(loss_range, name="loss_range")
     if n < 1:
@@ -119,7 +151,15 @@ def count_query_sensitivity() -> float:
 
 
 def mean_query_sensitivity(value_range: float, n: int) -> float:
-    """Sensitivity of a bounded mean: ``value_range / n``."""
+    """Sensitivity of a bounded mean: ``value_range / n``.
+
+    Parameters
+    ----------
+    value_range:
+        Width of the interval each value lies in.
+    n:
+        Sample size.
+    """
     value_range = check_positive(value_range, name="value_range")
     if n < 1:
         raise ValidationError("n must be >= 1")

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.distributions.continuous import CauchyNoise, LaplaceNoise
 from repro.exceptions import ValidationError
 from repro.mechanisms.base import Mechanism, PrivacySpec
 from repro.utils.validation import check_in_range, check_positive, check_random_state
@@ -35,6 +36,15 @@ def median_local_sensitivity_at_distance(
     shift the relevant order statistics; the classical formula is
     ``max_{t=0..k+1} ( x_{m+t} - x_{m+t-k-1} )`` with out-of-range indices
     clipped to the data bounds.
+
+    Parameters
+    ----------
+    sorted_values:
+        Dataset values, already sorted ascending.
+    k:
+        Hamming radius the adversary may move within.
+    lower, upper:
+        Known bounds of the data domain.
     """
     n = sorted_values.shape[0]
     if n == 0:
@@ -62,6 +72,16 @@ def median_smooth_sensitivity(
 
     Exact by scanning every k from 0 to n (A_k saturates at the full range
     for k ≥ n, and the exponential damping makes larger k irrelevant).
+
+    Parameters
+    ----------
+    values:
+        Dataset of scalars.
+    beta:
+        Smoothing parameter (ε/6 for Cauchy noise, ε/(2·ln(2/δ)) for
+        Laplace noise).
+    lower, upper:
+        Known bounds of the data domain.
     """
     beta = check_positive(beta, name="beta")
     arr = np.sort(np.asarray(values, dtype=float))
@@ -137,12 +157,13 @@ class SmoothSensitivityMedian(Mechanism):
         arr = np.asarray(values, dtype=float)
         median = float(np.median(arr))
         sensitivity = self.smooth_sensitivity(arr)
+        # The noise scale is data-dependent (that is the point of smooth
+        # sensitivity), so the sanctioned noise law is built per release.
         if self.noise_kind == "cauchy":
-            noise = float(rng.standard_cauchy()) * 6.0 * sensitivity / self.epsilon
+            law = CauchyNoise(scale=6.0 * sensitivity / self.epsilon)
         else:
-            noise = float(
-                rng.laplace(scale=2.0 * sensitivity / self.epsilon)
-            )
+            law = LaplaceNoise(scale=2.0 * sensitivity / self.epsilon)
+        noise = float(law.sample(random_state=rng))
         return float(np.clip(median + noise, self.lower, self.upper))
 
     def global_sensitivity_noise_scale(self) -> float:

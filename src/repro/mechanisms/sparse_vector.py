@@ -129,7 +129,24 @@ def above_threshold(
     """Convenience: index of the first query above ``threshold``, ε-DP.
 
     Returns None if no query fired before the stream ended.
+
+    Parameters
+    ----------
+    data:
+        Dataset every query is evaluated on.
+    queries:
+        Stream of callables ``query(data) -> float``.
+    threshold:
+        Public threshold the noisy answers are compared against.
+    epsilon:
+        Total privacy budget of the scan.
+    sensitivity:
+        Global sensitivity shared by all queries.
+    random_state:
+        Seed or Generator for the threshold and query noise.
     """
+    epsilon = check_positive(epsilon, name="epsilon")
+    sensitivity = check_positive(sensitivity, name="sensitivity")
     mechanism = SparseVector(threshold, sensitivity, epsilon, max_positives=1)
     mechanism.start(random_state=random_state)
     for index, query_fn in enumerate(queries):

@@ -48,6 +48,7 @@ class VectorLaplaceMechanism(Mechanism):
 
     @property
     def dimension(self) -> int:
+        """Dimension of the released vector."""
         return self.noise.dimension
 
     def release(self, dataset, random_state=None) -> np.ndarray:

@@ -152,6 +152,15 @@ class SampledPrivacyAuditor:
     estimate finite; the smoothing makes the estimator conservative
     (biased *downward*) for rare events, so the report is best read as a
     lower bound on the true ε.
+
+    Parameters
+    ----------
+    release:
+        Black-box ``release(dataset, random_state=...)`` callable.
+    n_samples:
+        Outputs drawn per dataset.
+    smoothing:
+        Add-``smoothing`` pseudo-count per observed output.
     """
 
     def __init__(

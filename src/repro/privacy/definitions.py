@@ -15,10 +15,17 @@ from collections.abc import Iterator, Sequence
 from repro.distributions.discrete import DiscreteDistribution
 from repro.exceptions import ValidationError
 from repro.information.divergences import hockey_stick_divergence, max_divergence
+from repro.utils.validation import check_in_range, check_positive
 
 
 def is_neighbour(dataset_a: Sequence, dataset_b: Sequence) -> bool:
-    """Whether two equal-length datasets differ in exactly one position."""
+    """Whether two equal-length datasets differ in exactly one position.
+
+    Parameters
+    ----------
+    dataset_a, dataset_b:
+        Record sequences compared under the substitution relation.
+    """
     a = list(dataset_a)
     b = list(dataset_b)
     if len(a) != len(b):
@@ -36,6 +43,13 @@ def all_neighbour_pairs(
     exponential in ``n``, intended for the exactly-checkable universes of
     the experiments. Pairs are yielded once per direction because the DP
     inequality must hold in both.
+
+    Parameters
+    ----------
+    universe:
+        The record domain.
+    n:
+        Dataset size.
     """
     universe = list(universe)
     if not universe:
@@ -63,7 +77,17 @@ def satisfies_pure_dp(
 
     Checks the max divergence in both directions against ε (with a small
     numerical tolerance, since the laws are floating point).
+
+    Parameters
+    ----------
+    p, q:
+        Output distributions of the mechanism on a neighbouring pair.
+    epsilon:
+        Claimed privacy parameter (ε >= 0; ε = 0 demands identical laws).
+    tolerance:
+        Numerical slack on the divergence comparison.
     """
+    epsilon = check_positive(epsilon, name="epsilon", strict=False)
     return (
         max_divergence(p, q) <= epsilon + tolerance
         and max_divergence(q, p) <= epsilon + tolerance
@@ -78,7 +102,21 @@ def satisfies_approximate_dp(
     *,
     tolerance: float = 1e-9,
 ) -> bool:
-    """Whether output laws satisfy (ε, δ)-DP via the hockey-stick test."""
+    """Whether output laws satisfy (ε, δ)-DP via the hockey-stick test.
+
+    Parameters
+    ----------
+    p, q:
+        Output distributions of the mechanism on a neighbouring pair.
+    epsilon:
+        Claimed privacy parameter (ε >= 0).
+    delta:
+        Claimed failure probability in [0, 1].
+    tolerance:
+        Numerical slack on the divergence comparison.
+    """
+    epsilon = check_positive(epsilon, name="epsilon", strict=False)
+    delta = check_in_range(delta, name="delta", low=0.0, high=1.0)
     return (
         hockey_stick_divergence(p, q, epsilon) <= delta + tolerance
         and hockey_stick_divergence(q, p, epsilon) <= delta + tolerance

@@ -29,7 +29,15 @@ from repro.utils.validation import check_positive
 
 
 def dp_tradeoff_curve(epsilon: float, alphas) -> np.ndarray:
-    """Lower bound on the type-II error β(α) implied by pure ε-DP."""
+    """Lower bound on the type-II error β(α) implied by pure ε-DP.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy parameter of the claimed guarantee.
+    alphas:
+        Type-I error levels (array-like in [0, 1]) to evaluate the bound at.
+    """
     epsilon = check_positive(epsilon, name="epsilon")
     alphas = np.asarray(alphas, dtype=float)
     if np.any((alphas < 0) | (alphas > 1)):
@@ -80,6 +88,11 @@ def optimal_attack_roc(
     the rejection set gives every vertex of the optimal tradeoff; the
     returned curve is the lower convex envelope through those vertices
     (randomized tests interpolate between them).
+
+    Parameters
+    ----------
+    p, q:
+        Output laws on a neighbouring pair, with identical support.
     """
     p.require_same_support(q)
     p_probs = p.probabilities
@@ -108,6 +121,11 @@ def membership_advantage(
 
     Equals the total variation distance between the output laws — the
     exact "membership-inference" risk of the release on that pair.
+
+    Parameters
+    ----------
+    p, q:
+        Output laws on a neighbouring pair, with identical support.
     """
     return optimal_attack_roc(p, q).advantage
 
@@ -125,7 +143,19 @@ def verify_tradeoff_dominance(
     Returns True iff ``β_actual(α) ≥ β_DP(α) - tolerance`` for every α on
     a uniform grid — i.e. the mechanism leaks no more than ε-DP permits on
     this pair. A False return is a *proof* of a privacy violation.
+
+    Parameters
+    ----------
+    p, q:
+        Output laws on a neighbouring pair, with identical support.
+    epsilon:
+        Claimed privacy parameter.
+    grid:
+        Number of uniformly-spaced α values checked.
+    tolerance:
+        Numerical slack allowed below the bound.
     """
+    epsilon = check_positive(epsilon, name="epsilon")
     roc = optimal_attack_roc(p, q)
     alphas = np.linspace(0.0, 1.0, grid)
     bound = dp_tradeoff_curve(epsilon, alphas)

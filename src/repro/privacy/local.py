@@ -41,6 +41,13 @@ class KRandomizedResponse(Mechanism):
     Truth probability ``p = e^ε / (e^ε + k - 1)``; any specific lie has
     probability ``q = 1 / (e^ε + k - 1)``; the ratio p/q = e^ε makes each
     report exactly ε-DP in its own record.
+
+    Parameters
+    ----------
+    categories:
+        The fixed, data-independent category list.
+    epsilon:
+        Per-record local privacy parameter.
     """
 
     def __init__(self, categories, epsilon: float) -> None:
@@ -101,6 +108,13 @@ class UnaryEncoding(Mechanism):
     probability ``p = e^{ε/2}/(e^{ε/2}+1)``, every other bit is set with
     probability ``q = 1 - p``. Each bit flip contributes ε/2, the pair
     (true bit, any other bit) bounds the total at ε.
+
+    Parameters
+    ----------
+    categories:
+        The fixed, data-independent category list.
+    epsilon:
+        Per-record local privacy parameter.
     """
 
     def __init__(self, categories, epsilon: float) -> None:

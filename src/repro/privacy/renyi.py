@@ -82,6 +82,13 @@ def rdp_of_pure_dp(epsilon: float, alpha: float) -> RenyiSpec:
     capped at ε (= D_∞). For small ε this behaves like ``α·ε²/2``, which
     is what makes RDP composition beat both basic and advanced
     composition in the many-queries regime.
+
+    Parameters
+    ----------
+    epsilon:
+        Pure-DP parameter being converted.
+    alpha:
+        Rényi order (> 1).
     """
     epsilon = check_positive(epsilon, name="epsilon")
     alpha = _check_alpha(alpha)
@@ -100,7 +107,17 @@ def rdp_of_pure_dp(epsilon: float, alpha: float) -> RenyiSpec:
 
 
 def rdp_of_gaussian(sensitivity: float, sigma: float, alpha: float) -> RenyiSpec:
-    """Exact RDP of the Gaussian mechanism: ``ρ = α·Δ² / (2σ²)``."""
+    """Exact RDP of the Gaussian mechanism: ``ρ = α·Δ² / (2σ²)``.
+
+    Parameters
+    ----------
+    sensitivity:
+        L2 sensitivity Δ of the query.
+    sigma:
+        Noise standard deviation.
+    alpha:
+        Rényi order (> 1).
+    """
     sensitivity = check_positive(sensitivity, name="sensitivity")
     sigma = check_positive(sigma, name="sigma")
     alpha = _check_alpha(alpha)
@@ -112,6 +129,15 @@ def rdp_of_laplace(sensitivity: float, scale: float, alpha: float) -> RenyiSpec:
 
     With ε = Δ/b,  D_α = (1/(α-1)) · log[ (α/(2α-1))·e^{(α-1)ε}
                                           + ((α-1)/(2α-1))·e^{-αε} ].
+
+    Parameters
+    ----------
+    sensitivity:
+        L1 sensitivity Δ of the query.
+    scale:
+        Laplace scale b.
+    alpha:
+        Rényi order (> 1).
     """
     sensitivity = check_positive(sensitivity, name="sensitivity")
     scale = check_positive(scale, name="scale")
@@ -146,7 +172,19 @@ def optimal_rdp_to_dp(
     ``curve(alpha)`` supplies the (α, ρ(α)) guarantee — e.g. the composed
     RDP of k Gaussian queries — and the best conversion order is selected
     numerically (the standard accountant move).
+
+    Parameters
+    ----------
+    curve:
+        Callable mapping a Rényi order α to its :class:`RenyiSpec`.
+    delta:
+        Target failure probability of the converted guarantee.
+    alphas:
+        Candidate orders (default: a 0.1-spaced grid over (1, 64)).
     """
+    delta = check_in_range(
+        delta, name="delta", low=0.0, high=1.0, inclusive=False
+    )
     if alphas is None:
         alphas = list(np.arange(1.1, 64.0, 0.1))
     best: PrivacySpec | None = None
@@ -169,6 +207,17 @@ def measure_rdp(
     The RDP analogue of :class:`repro.privacy.ExactPrivacyAuditor`: for
     discrete mechanisms this *measures* the (α, ρ) guarantee instead of
     assuming it.
+
+    Parameters
+    ----------
+    output_distribution:
+        Callable mapping a dataset to the mechanism's output law.
+    universe:
+        Record domain to enumerate datasets over.
+    n:
+        Dataset size.
+    alpha:
+        Rényi order (> 1).
     """
     alpha = _check_alpha(alpha)
     worst = 0.0

@@ -44,6 +44,13 @@ def beta_shape_family(bins: int, shapes: Sequence[tuple[float, float]]) -> list:
 
     Each candidate is a tuple of bin probabilities (summing to 1), floored
     away from zero so the log-likelihood stays finite.
+
+    Parameters
+    ----------
+    bins:
+        Histogram resolution of each candidate.
+    shapes:
+        Beta (a, b) parameter pairs, one candidate per pair.
     """
     if bins < 2:
         raise ValidationError("bins must be >= 2")
@@ -115,9 +122,11 @@ class GibbsDensityEstimator(Mechanism):
 
     @property
     def temperature(self) -> float:
+        """Gibbs temperature β the privacy calibration produced."""
         return self.estimator.temperature
 
     def release(self, dataset, random_state=None) -> np.ndarray:
+        """Fit and return the sampled candidate's bin probabilities."""
         return self.fit(dataset, random_state=random_state).bin_probabilities
 
     def fit(self, data, random_state=None) -> "GibbsDensityEstimator":
@@ -156,6 +165,13 @@ class LaplaceHistogramDensity(Mechanism):
     Substituting one record moves at most two bin counts by one each, so
     the counts vector has L1 sensitivity 2 and per-bin noise
     ``Lap(2/ε)`` suffices.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy parameter.
+    bins:
+        Histogram resolution.
     """
 
     def __init__(self, epsilon: float, *, bins: int = 16) -> None:
@@ -167,9 +183,11 @@ class LaplaceHistogramDensity(Mechanism):
         self.bin_probabilities: np.ndarray | None = None
 
     def release(self, dataset, random_state=None) -> np.ndarray:
+        """Fit and return the renormalized noisy bin probabilities."""
         return self.fit(dataset, random_state=random_state).bin_probabilities
 
     def fit(self, data, random_state=None) -> "LaplaceHistogramDensity":
+        """Noise the histogram counts, clip at zero and renormalize."""
         data = _check_unit_interval(data)
         rng = check_random_state(random_state)
         counts = np.bincount(
@@ -186,12 +204,14 @@ class LaplaceHistogramDensity(Mechanism):
         return self
 
     def pdf(self, points) -> np.ndarray:
+        """Estimated density at the given points in [0, 1]."""
         if self.bin_probabilities is None:
             raise NotFittedError("LaplaceHistogramDensity has not been fitted")
         points = _check_unit_interval(points)
         return self.bin_probabilities[_bin_index(points, self.bins)] * self.bins
 
     def total_variation_to(self, bin_probabilities) -> float:
+        """TV distance between the fit and a reference binned density."""
         if self.bin_probabilities is None:
             raise NotFittedError("LaplaceHistogramDensity has not been fitted")
         reference = np.asarray(bin_probabilities, dtype=float)
@@ -201,7 +221,17 @@ class LaplaceHistogramDensity(Mechanism):
 
 
 def discretize_density(pdf, bins: int, *, resolution: int = 1000) -> np.ndarray:
-    """Bin probabilities of a reference pdf on [0, 1] (for TV comparisons)."""
+    """Bin probabilities of a reference pdf on [0, 1] (for TV comparisons).
+
+    Parameters
+    ----------
+    pdf:
+        Scalar density function on [0, 1].
+    bins:
+        Number of equal-width bins.
+    resolution:
+        Midpoint-rule evaluation points used for the integration.
+    """
     if bins < 2:
         raise ValidationError("bins must be >= 2")
     xs = np.linspace(0.0, 1.0, resolution, endpoint=False) + 0.5 / resolution

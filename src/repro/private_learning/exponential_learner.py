@@ -20,12 +20,25 @@ from repro.mechanisms.base import Mechanism, PrivacySpec
 from repro.utils.validation import check_random_state
 
 
-def direction_grid(dimension: int, resolution: int) -> list[np.ndarray]:
+def direction_grid(
+    dimension: int, resolution: int, random_state=12345
+) -> list[np.ndarray]:
     """Candidate unit-norm linear predictors.
 
+    Parameters
+    ----------
+    dimension:
+        Feature dimension d (>= 2).
+    resolution:
+        Number of candidate directions.
+    random_state:
+        Seed or Generator for the d > 2 construction. The fixed default
+        keeps the grid deterministic — the grid is public, so this
+        randomness carries no privacy budget.
+
     For d = 2, ``resolution`` equally-spaced directions on the circle; for
-    higher d, a deterministic low-discrepancy set of unit vectors (seeded
-    Gaussian directions, normalized) of size ``resolution``.
+    higher d, a low-discrepancy set of unit vectors (Gaussian directions,
+    normalized) of size ``resolution``.
     """
     if dimension < 2:
         raise ValidationError("dimension must be >= 2")
@@ -34,7 +47,7 @@ def direction_grid(dimension: int, resolution: int) -> list[np.ndarray]:
     if dimension == 2:
         angles = np.linspace(0.0, 2.0 * np.pi, resolution, endpoint=False)
         return [np.array([np.cos(a), np.sin(a)]) for a in angles]
-    rng = np.random.default_rng(12345)
+    rng = check_random_state(random_state)
     directions = rng.normal(size=(resolution, dimension))
     directions /= np.linalg.norm(directions, axis=1, keepdims=True)
     return [directions[i] for i in range(resolution)]
@@ -88,6 +101,7 @@ class ExponentialMechanismLearner(Mechanism):
 
     @property
     def resolution(self) -> int:
+        """Number of candidate directions in the grid."""
         return len(self.directions)
 
     @property

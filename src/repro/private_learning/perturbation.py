@@ -36,6 +36,15 @@ def erm_argmin_sensitivity(
 
     Corollary 8 of Chaudhuri et al. (2011) for ‖x‖ ≤ 1 and an L-Lipschitz
     convex loss under the substitution neighbour relation.
+
+    Parameters
+    ----------
+    lipschitz:
+        Lipschitz constant L of the loss.
+    regularization:
+        L2 regularization parameter Λ.
+    n:
+        Sample size.
     """
     lipschitz = check_positive(lipschitz, name="lipschitz")
     regularization = check_positive(regularization, name="regularization")
@@ -83,6 +92,7 @@ class OutputPerturbationClassifier(Mechanism):
 
     @property
     def regularization(self) -> float:
+        """The L2 regularization parameter Λ."""
         return self._base.regularization
 
     def release(self, dataset, random_state=None) -> np.ndarray:
@@ -129,6 +139,16 @@ class ObjectivePerturbationClassifier(Mechanism):
     Algorithm 2 of Chaudhuri et al. (2011). Requires a twice-differentiable
     loss with curvature bound c; when ``ε ≤ 2·log(1 + c/(nΛ))`` the
     regularizer is topped up by Δ so the analysis goes through.
+
+    Parameters
+    ----------
+    loss:
+        A convex, 1-Lipschitz, twice-differentiable :class:`MarginLoss`
+        (logistic or smoothed hinge).
+    regularization:
+        The L2 parameter Λ > 0.
+    epsilon:
+        Privacy parameter.
     """
 
     def __init__(

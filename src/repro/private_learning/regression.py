@@ -46,6 +46,15 @@ def coefficient_grid(
     Cartesian grid on ``[-radius, radius]^d`` — fine for the small d the
     Gibbs route targets; the lattice size grows as
     ``points_per_axis**dimension``.
+
+    Parameters
+    ----------
+    dimension:
+        Number of features d.
+    radius:
+        Half-width of the lattice along each axis.
+    points_per_axis:
+        Lattice resolution per axis.
     """
     if dimension < 1:
         raise ValidationError("dimension must be >= 1")
@@ -106,6 +115,7 @@ class GibbsRidgeRegression(Mechanism):
 
     @property
     def temperature(self) -> float:
+        """Gibbs temperature β the privacy calibration produced."""
         return self.estimator.temperature
 
     @staticmethod
@@ -133,11 +143,13 @@ class GibbsRidgeRegression(Mechanism):
         return self.estimator.output_distribution(self._as_sample(x, y))
 
     def predict(self, x) -> np.ndarray:
+        """Predicted targets ``x @ θ``."""
         if self.coefficients is None:
             raise NotFittedError("GibbsRidgeRegression has not been fitted")
         return check_array(x, name="x", ndim=2) @ self.coefficients
 
     def mean_squared_error(self, x, y) -> float:
+        """Mean squared prediction error on (x, y)."""
         y = check_array(y, name="y", ndim=1)
         residuals = self.predict(x) - y
         return float((residuals**2).mean())
@@ -151,6 +163,17 @@ class SufficientStatisticsRidge(Mechanism):
     the (PSD-projected) noisy normal equations. One record with ‖x‖ ≤ 1
     and |y| ≤ y_bound contributes at most ``d + √d·y_bound`` in L1 to the
     statistics, so a substitution moves them by at most twice that.
+
+    Parameters
+    ----------
+    dimension:
+        Number of features d.
+    epsilon:
+        Privacy parameter.
+    regularization:
+        Ridge parameter added after the PSD projection.
+    y_bound:
+        Assumed bound on |y| per record (enters the sensitivity).
     """
 
     def __init__(
@@ -172,6 +195,7 @@ class SufficientStatisticsRidge(Mechanism):
         self.coefficients: np.ndarray | None = None
 
     def release(self, dataset, random_state=None) -> np.ndarray:
+        """``dataset`` is a pair ``(x, y)``; returns the private θ."""
         x, y = dataset
         return self.fit(x, y, random_state=random_state).coefficients
 
@@ -205,6 +229,7 @@ class SufficientStatisticsRidge(Mechanism):
         return self
 
     def predict(self, x) -> np.ndarray:
+        """Predicted targets ``x @ θ``."""
         if self.coefficients is None:
             raise NotFittedError(
                 "SufficientStatisticsRidge has not been fitted"
@@ -212,6 +237,7 @@ class SufficientStatisticsRidge(Mechanism):
         return check_array(x, name="x", ndim=2) @ self.coefficients
 
     def mean_squared_error(self, x, y) -> float:
+        """Mean squared prediction error on (x, y)."""
         y = check_array(y, name="y", ndim=1)
         residuals = self.predict(x) - y
         return float((residuals**2).mean())

@@ -75,3 +75,67 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCliLint:
+    def test_lint_clean_tree_exits_zero(self, capsys):
+        import repro
+
+        package_dir = str(pathlib.Path(next(iter(repro.__path__))))
+        assert main(["lint", package_dir]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+
+    def test_lint_violating_file_exits_nonzero(self, capsys, tmp_path):
+        bad = tmp_path / "repro" / "mechanisms" / "snippet.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "def add_noise(rng, scale):\n"
+            '    """Doc.\n\n'
+            "    Parameters\n"
+            "    ----------\n"
+            "    rng, scale : object\n"
+            '    """\n'
+            "    return rng.laplace(0.0, scale)\n"
+        )
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DPL003" in out
+
+    def test_lint_json_output(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "repro" / "mechanisms" / "snippet.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(rng):\n    return rng.laplace(0.0, 1.0)\n")
+        assert main(["lint", "--format", "json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        assert any(f["rule_id"] == "DPL003" for f in payload["findings"])
+
+    def test_lint_select_filters_rules(self, capsys, tmp_path):
+        bad = tmp_path / "repro" / "mechanisms" / "snippet.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(rng):\n    return rng.laplace(0.0, 1.0)\n")
+        # Only the docstring rule selected: the sampling hit disappears.
+        assert main(["lint", "--select", "DPL006", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DPL003" not in out
+        assert "DPL006" in out
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DPL001", "DPL006"):
+            assert rule_id in out
+
+    def test_lint_unknown_select_is_usage_error(self, capsys):
+        # A typo'd rule must not silently select nothing and exit 0.
+        assert main(["lint", "--select", "DLP003", "."]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule" in err
+        assert "DLP003" in err
+
+    def test_lint_missing_path_is_usage_error(self, capsys):
+        assert main(["lint", "/no/such/dir/anywhere"]) == 2
+        assert "no such file" in capsys.readouterr().err

@@ -84,6 +84,77 @@ class TestCheckPositive:
         with pytest.raises(ValidationError):
             check_positive("three")
 
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_positive(np.nan)
+
+    def test_rejects_nan_even_when_not_strict(self):
+        with pytest.raises(ValidationError):
+            check_positive(np.nan, strict=False)
+
+    def test_rejects_negative_inf(self):
+        with pytest.raises(ValidationError):
+            check_positive(-np.inf)
+
+    def test_rejects_none(self):
+        with pytest.raises(ValidationError):
+            check_positive(None)
+
+    def test_rejects_bool_like_containers(self):
+        with pytest.raises(ValidationError):
+            check_positive([1.0])
+
+    def test_error_message_names_the_parameter(self):
+        with pytest.raises(ValidationError, match="epsilon"):
+            check_positive(-1.0, name="epsilon")
+
+
+class TestPrivacyParameterEdgeCases:
+    """The ε/δ validation paths dplint rule DPL002 relies on."""
+
+    @pytest.mark.parametrize("epsilon", [0.0, -1.0, np.nan, np.inf, -np.inf])
+    def test_degenerate_epsilon_rejected(self, epsilon):
+        with pytest.raises(ValidationError):
+            check_positive(epsilon, name="epsilon")
+
+    @pytest.mark.parametrize("epsilon", ["1.0", None, [1.0], object()])
+    def test_non_numeric_epsilon_rejected(self, epsilon):
+        with pytest.raises(ValidationError):
+            check_positive(epsilon, name="epsilon")
+
+    @pytest.mark.parametrize("delta", [-1e-9, 1.0 + 1e-9, np.nan, np.inf])
+    def test_out_of_range_delta_rejected(self, delta):
+        with pytest.raises(ValidationError):
+            check_in_range(delta, name="delta", low=0.0, high=1.0)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0])
+    def test_boundary_delta_rejected_when_exclusive(self, delta):
+        with pytest.raises(ValidationError):
+            check_in_range(
+                delta, name="delta", low=0.0, high=1.0, inclusive=False
+            )
+
+    def test_nan_delta_rejected_even_inclusive(self):
+        # NaN compares false against every bound, so it must not slip
+        # through either branch of the range check.
+        with pytest.raises(ValidationError):
+            check_in_range(np.nan, name="delta", low=0.0, high=1.0)
+
+    @pytest.mark.parametrize("delta", ["0.1", None, [0.5]])
+    def test_non_numeric_delta_rejected(self, delta):
+        with pytest.raises(ValidationError):
+            check_in_range(delta, name="delta", low=0.0, high=1.0)
+
+    def test_valid_epsilon_returned_as_float(self):
+        value = check_positive(np.float64(0.5), name="epsilon")
+        assert isinstance(value, float)
+        assert value == 0.5
+
+    def test_valid_delta_returned_as_float(self):
+        value = check_in_range(1e-6, name="delta", low=0.0, high=1.0)
+        assert isinstance(value, float)
+        assert value == 1e-6
+
 
 class TestCheckInRange:
     def test_inclusive_endpoints(self):

@@ -31,6 +31,7 @@ Quickstart::
 
 from repro.exceptions import (
     ConvergenceError,
+    DPAuditError,
     NotFittedError,
     PrivacyBudgetError,
     ReproError,
@@ -57,6 +58,7 @@ from repro.mechanisms import (
     RandomizedResponse,
 )
 from repro.privacy import ExactPrivacyAuditor, SampledPrivacyAuditor
+from repro.testing import StatisticalAuditReport, assert_dp, audit_mechanism
 from repro.learning import (
     BernoulliTask,
     GaussianThresholdTask,
@@ -90,6 +92,7 @@ __all__ = [
     "BernoulliTask",
     "ContinuousGibbsPosterior",
     "ConvergenceError",
+    "DPAuditError",
     "DiscreteChannel",
     "DiscreteDistribution",
     "ExactPrivacyAuditor",
@@ -117,8 +120,11 @@ __all__ = [
     "ReproError",
     "SampledPrivacyAuditor",
     "SensitivityError",
+    "StatisticalAuditReport",
     "TwoGaussiansTask",
     "ValidationError",
+    "assert_dp",
+    "audit_mechanism",
     "catoni_bound",
     "channel_capacity",
     "entropy",

@@ -68,6 +68,7 @@ class DocstringParametersRule(Rule):
             "private_learning",
             "privacy",
             "analysis",
+            "testing",
         ),
         # Parameters section required from this many documentable params.
         "min_params": 2,

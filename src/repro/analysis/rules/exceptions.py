@@ -46,7 +46,13 @@ class NoSilentExceptRule(Rule):
     )
     default_severity = Severity.ERROR
     default_options = {
-        "packages": ("mechanisms", "privacy", "private_learning", "analysis"),
+        "packages": (
+            "mechanisms",
+            "privacy",
+            "private_learning",
+            "analysis",
+            "testing",
+        ),
     }
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:

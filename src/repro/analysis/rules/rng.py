@@ -45,6 +45,7 @@ class RngDisciplineRule(Rule):
             "core",
             "information",
             "learning",
+            "testing",
         ),
         # Files allowed to touch numpy.random directly: the single
         # sanctioned Generator factory.

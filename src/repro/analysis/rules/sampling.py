@@ -37,7 +37,7 @@ class NoNaiveSamplingRule(Rule):
     )
     default_severity = Severity.ERROR
     default_options = {
-        "packages": ("mechanisms", "private_learning", "privacy", "core"),
+        "packages": ("mechanisms", "private_learning", "privacy", "core", "testing"),
         # RNG method names whose direct use is reserved to the sanctioned
         # sampler modules.
         "methods": (

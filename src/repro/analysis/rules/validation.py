@@ -55,7 +55,13 @@ class ValidatePrivacyParamsRule(Rule):
     )
     default_severity = Severity.ERROR
     default_options = {
-        "packages": ("mechanisms", "distributions", "private_learning", "privacy"),
+        "packages": (
+            "mechanisms",
+            "distributions",
+            "private_learning",
+            "privacy",
+            "testing",
+        ),
         "param_names": ("epsilon", "delta", "sensitivity"),
         # Call targets (matched on the final dotted segment) that count as
         # validating an argument passed to them.

@@ -5,7 +5,11 @@ Commands
 ``experiments``
     List the reproduction's experiments (E1…E12) and their bench files.
 ``audit``
-    Exact privacy audit of the Gibbs estimator on a small universe.
+    Statistical verification of every mechanism family's claimed ε:
+    Monte-Carlo audits with certified Clopper–Pearson lower bounds, plus
+    an exact enumeration audit of the Gibbs estimator. Exit code 0 when
+    every claim holds, 1 on a certified violation, 2 on usage errors —
+    the same contract as ``lint``.
 ``tradeoff``
     Print the privacy–information–risk frontier (Theorem 4.2) for a
     Bernoulli instance.
@@ -38,12 +42,40 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("experiments", help="list the reproduction's experiments")
 
     audit = sub.add_parser(
-        "audit", help="exact privacy audit of the Gibbs estimator"
+        "audit",
+        help="statistical audit of every mechanism's claimed ε "
+        "(plus an exact Gibbs enumeration audit)",
+    )
+    audit.add_argument(
+        "families",
+        nargs="*",
+        metavar="FAMILY",
+        help="mechanism families to audit (default: all; see --list)",
     )
     audit.add_argument("--epsilon", type=float, default=1.0)
     audit.add_argument("--n", type=int, default=3)
-    audit.add_argument("--grid-size", type=int, default=5)
-    audit.add_argument("--p", type=float, default=0.7)
+    audit.add_argument("--samples", type=int, default=12_000)
+    audit.add_argument("--confidence", type=float, default=0.999)
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument("--format", choices=("text", "json"), default="text")
+    audit.add_argument(
+        "--noise-scale",
+        type=float,
+        default=1.0,
+        help="deliberately rescale mechanism noise (< 1 weakens privacy) "
+        "to demonstrate that the auditor catches mis-calibration",
+    )
+    audit.add_argument(
+        "--skip-exact",
+        action="store_true",
+        help="skip the exact enumeration audit of the Gibbs estimator",
+    )
+    audit.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_families",
+        help="print the audit-family registry and exit",
+    )
 
     tradeoff = sub.add_parser(
         "tradeoff", help="print the Theorem 4.2 frontier"
@@ -99,20 +131,106 @@ def _cmd_experiments(args) -> int:
 
 
 def _cmd_audit(args) -> int:
-    from repro.core import GibbsEstimator
-    from repro.learning import BernoulliTask, PredictorGrid
-    from repro.privacy import ExactPrivacyAuditor
+    import json
 
-    task = BernoulliTask(p=args.p)
-    grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, args.grid_size)
-    estimator = GibbsEstimator.from_privacy(
-        grid, args.epsilon, expected_sample_size=args.n
+    from repro.exceptions import ValidationError
+    from repro.experiments import ResultTable
+    from repro.privacy import ExactPrivacyAuditor
+    from repro.testing import AUDIT_FAMILIES, build_audit, run_audit
+    from repro.testing.statistical import derive_seed
+
+    if args.list_families:
+        for family in AUDIT_FAMILIES:
+            print(family)
+        return 0
+    families = args.families or list(AUDIT_FAMILIES)
+    unknown = sorted(set(families) - set(AUDIT_FAMILIES))
+    if unknown:
+        # Mirror lint's usage contract: a typo'd family must not exit 0.
+        print(
+            f"audit: unknown famil{'ies' if len(unknown) > 1 else 'y'}: "
+            f"{', '.join(unknown)}; see `repro audit --list`",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        reports = []
+        for family in families:
+            prepared = build_audit(
+                family,
+                epsilon=args.epsilon,
+                n=args.n,
+                noise_scale=args.noise_scale,
+            )
+            reports.append(
+                run_audit(
+                    prepared,
+                    n_samples=args.samples,
+                    confidence=args.confidence,
+                    random_state=derive_seed(family, base_seed=args.seed),
+                )
+            )
+    except ValidationError as error:
+        print(f"audit: {error}", file=sys.stderr)
+        return 2
+
+    exact_report = None
+    if "gibbs" in families and not args.skip_exact:
+        prepared = build_audit(
+            "gibbs", epsilon=args.epsilon, n=args.n, noise_scale=args.noise_scale
+        )
+        exact_report = ExactPrivacyAuditor(
+            prepared.mechanism.output_distribution
+        ).audit([0, 1], args.n, claimed_epsilon=prepared.epsilon)
+
+    all_ok = all(r.satisfied for r in reports) and (
+        exact_report is None or exact_report.satisfied
     )
-    report = ExactPrivacyAuditor(estimator.output_distribution).audit(
-        [0, 1], args.n, claimed_epsilon=args.epsilon
-    )
-    print(report)
-    return 0 if report.satisfied else 1
+    if args.format == "json":
+        payload = {
+            "epsilon": args.epsilon,
+            "n": args.n,
+            "samples": args.samples,
+            "confidence": args.confidence,
+            "seed": args.seed,
+            "noise_scale": args.noise_scale,
+            "satisfied": all_ok,
+            "reports": [r.to_dict() for r in reports],
+        }
+        if exact_report is not None:
+            payload["gibbs_exact"] = {
+                "measured_epsilon": exact_report.measured_epsilon,
+                "claimed_epsilon": exact_report.claimed_epsilon,
+                "satisfied": exact_report.satisfied,
+                "pairs_checked": exact_report.pairs_checked,
+            }
+        print(json.dumps(payload, indent=2))
+    else:
+        table = ResultTable(
+            ["family", "claimed ε", "certified ε ≥", "point est.", "verdict"],
+            title=(
+                f"Statistical DP audits (n={args.n}, {args.samples} samples"
+                f"/side, confidence {args.confidence:g})"
+            ),
+        )
+        for report in reports:
+            table.add_row(
+                report.mechanism,
+                report.claimed_epsilon,
+                report.epsilon_lower_bound,
+                report.point_estimate,
+                "OK" if report.satisfied else "VIOLATION",
+            )
+        print(table)
+        if exact_report is not None:
+            print(f"gibbs exact enumeration: {exact_report}")
+        verdict = "OK" if all_ok else "FAILED"
+        print(
+            f"audit {verdict}: "
+            f"{sum(r.satisfied for r in reports)}/{len(reports)} statistical "
+            f"audits within claimed ε"
+        )
+    return 0 if all_ok else 1
 
 
 def _cmd_tradeoff(args) -> int:

@@ -10,6 +10,12 @@ is the exponential mechanism with quality ``q = -R̂`` and therefore
 ``2·λ·Δ(R̂)``-differentially private. For a loss bounded in a width-``B``
 interval, ``Δ(R̂) = B/n``, so the guarantee is ``2λB/n`` — and conversely a
 target privacy ε calibrates the temperature to ``λ = ε·n / (2B)``.
+
+The guarantee is verified two ways: exactly, by enumeration
+(:class:`repro.privacy.ExactPrivacyAuditor` over small universes), and
+statistically, by the Monte-Carlo audit harness (the ``gibbs`` family in
+:mod:`repro.testing.registry`, run by ``repro audit`` and the
+``pytest -m statistical`` tier).
 """
 
 from __future__ import annotations

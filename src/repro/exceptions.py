@@ -39,3 +39,13 @@ class SupportMismatchError(ValidationError):
 
 class NotFittedError(ReproError):
     """A model or estimator was used before being fitted."""
+
+
+class DPAuditError(ReproError, AssertionError):
+    """A statistical audit certified a violation of a claimed DP guarantee.
+
+    Subclasses ``AssertionError`` so ``repro.testing.assert_dp`` composes
+    with plain pytest assertions; the failing
+    :class:`~repro.testing.StatisticalAuditReport` is attached as the
+    ``report`` attribute.
+    """

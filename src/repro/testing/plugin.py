@@ -1,0 +1,91 @@
+"""Pytest plugin for the statistical test tier.
+
+Loaded via ``pytest_plugins = ("repro.testing.plugin",)`` in the root
+``conftest.py``. It provides:
+
+* the ``statistical`` marker — select the tier with ``pytest -m
+  statistical``; ``@pytest.mark.statistical(retries=N)`` additionally
+  reruns a failing test up to ``N`` times (whole-test flake control on
+  top of the per-audit retries inside :func:`repro.testing.assert_dp`);
+* the ``statistical_policy`` fixture — the tier's
+  :class:`~repro.testing.statistical.StatisticalPolicy`;
+* the ``statistical_rng`` fixture — a ``numpy.random.Generator`` seeded
+  deterministically from the test's node id and its current rerun
+  attempt, so every test gets an independent, reproducible stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing.statistical import DEFAULT_POLICY, StatisticalPolicy
+from repro.utils.validation import check_random_state
+
+
+def pytest_configure(config) -> None:
+    """Register the ``statistical`` marker (idempotent with pytest.ini).
+
+    Parameters
+    ----------
+    config:
+        The pytest configuration object.
+    """
+    config.addinivalue_line(
+        "markers",
+        "statistical(retries=0): tier-2 seeded Monte-Carlo DP audit; "
+        "rerun up to `retries` times on failure before reporting",
+    )
+
+
+def pytest_runtest_protocol(item, nextitem):
+    """Bounded rerun protocol for ``@pytest.mark.statistical(retries=N)``.
+
+    Runs the standard test protocol up to ``retries + 1`` times, exposing
+    the zero-based attempt counter as ``item.statistical_attempt`` (which
+    reseeds the ``statistical_rng`` fixture), and reports only the final
+    attempt — deterministic, since every attempt's seed is derived.
+
+    Parameters
+    ----------
+    item:
+        The collected test item.
+    nextitem:
+        The following item (forwarded to teardown logic).
+    """
+    marker = item.get_closest_marker("statistical")
+    if marker is None:
+        return None
+    retries = int(marker.kwargs.get("retries", 0))
+    if retries <= 0:
+        return None
+    from _pytest.runner import runtestprotocol
+
+    item.ihook.pytest_runtest_logstart(
+        nodeid=item.nodeid, location=item.location
+    )
+    reports = []
+    for attempt in range(retries + 1):
+        item.statistical_attempt = attempt
+        reports = runtestprotocol(item, nextitem=nextitem, log=False)
+        if not any(report.failed for report in reports):
+            break
+    for report in reports:
+        item.ihook.pytest_runtest_logreport(report=report)
+    item.ihook.pytest_runtest_logfinish(
+        nodeid=item.nodeid, location=item.location
+    )
+    return True
+
+
+@pytest.fixture(scope="session")
+def statistical_policy() -> StatisticalPolicy:
+    """The policy the statistical tier runs under."""
+    return DEFAULT_POLICY
+
+
+@pytest.fixture
+def statistical_rng(request):
+    """Deterministic per-test Generator, reseeded on marker-driven reruns."""
+    attempt = getattr(request.node, "statistical_attempt", 0)
+    seed = DEFAULT_POLICY.seed_for(request.node.nodeid, attempt)
+    return check_random_state(seed)

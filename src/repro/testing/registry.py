@@ -1,0 +1,328 @@
+"""Named audit cases: one worst-case statistical audit per mechanism family.
+
+Each builder pairs a concretely-parameterized mechanism with the neighbour
+pair that saturates (or comes closest to saturating) its guarantee, plus
+the sampling strategy the auditor should use. The same registry backs the
+``repro audit`` CLI subcommand and the ``statistical`` pytest tier, so a
+new mechanism family becomes auditable everywhere by adding one builder.
+
+Every builder accepts ``noise_scale``: at 1.0 the mechanism is built
+exactly as shipped; below 1.0 its noise is deliberately shrunk (a sabotage
+knob) so tests and demos can confirm the audit harness actually rejects a
+mis-calibrated implementation rather than passing everything.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.gibbs import GibbsEstimator
+from repro.distributions.continuous import GumbelNoise, LaplaceNoise
+from repro.exceptions import ValidationError
+from repro.learning import BernoulliTask, PredictorGrid
+from repro.mechanisms import (
+    ExponentialMechanism,
+    GeometricMechanism,
+    LaplaceMechanism,
+    Mechanism,
+    RandomizedResponse,
+    ReportNoisyMax,
+    SparseVector,
+)
+from repro.testing.audit import StatisticalAuditReport, audit_mechanism
+from repro.testing.neighbors import (
+    NeighborPair,
+    bit_flip_pair,
+    extreme_record_pair,
+    score_gap_pair,
+)
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PreparedAudit:
+    """A mechanism wired to its worst-case pair and audit strategy.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the seed-derivation name).
+    mechanism:
+        The mechanism instance under audit.
+    pair:
+        Worst-case neighbouring datasets for this family.
+    epsilon:
+        The claimed guarantee being verified.
+    kind:
+        Event family for the estimator (``"discrete"`` / ``"binned"``).
+    sampler:
+        Optional vectorized sampler ``(dataset, size, rng) -> outputs``.
+    output_key:
+        Optional raw-output → hashable-key transform.
+    note:
+        One-line description of what the audit checks.
+    """
+
+    name: str
+    mechanism: Mechanism
+    pair: NeighborPair
+    epsilon: float
+    kind: str
+    sampler: Callable | None = None
+    output_key: Callable | None = None
+    note: str = ""
+
+
+def _sum_query(dataset):
+    """Sum of the records — sensitivity ``high - low`` on a bounded domain."""
+    return float(np.sum(np.asarray(dataset, dtype=float)))
+
+
+def _count_query(dataset):
+    """Number of ones — the canonical sensitivity-1 counting query."""
+    return int(np.sum(np.asarray(dataset, dtype=int)))
+
+
+def _match_quality(dataset, candidate):
+    """Selection quality: how many records equal the candidate (Δq = 1)."""
+    return float(sum(1 for record in dataset if record == candidate))
+
+
+def _laplace(epsilon: float, n: int, noise_scale: float) -> PreparedAudit:
+    mechanism = LaplaceMechanism(_sum_query, 1.0, epsilon)
+    if noise_scale != 1.0:
+        mechanism.noise = LaplaceNoise(scale=mechanism.noise.scale * noise_scale)
+
+    def sampler(dataset, size, rng):
+        return _sum_query(dataset) + mechanism.noise.sample(
+            size=size, random_state=rng
+        )
+
+    return PreparedAudit(
+        name="laplace",
+        mechanism=mechanism,
+        pair=extreme_record_pair(n),
+        epsilon=mechanism.epsilon,
+        kind="binned",
+        sampler=sampler,
+        note="Lap(Δf/ε) noise on a saturating sum query (Theorem 2.3)",
+    )
+
+
+def _geometric(epsilon: float, n: int, noise_scale: float) -> PreparedAudit:
+    mechanism = GeometricMechanism(_count_query, 1.0, epsilon)
+    if noise_scale != 1.0:
+        mechanism.alpha = float(mechanism.alpha ** (1.0 / noise_scale))
+    return PreparedAudit(
+        name="geometric",
+        mechanism=mechanism,
+        pair=bit_flip_pair(n),
+        epsilon=mechanism.epsilon,
+        kind="discrete",
+        note="two-sided geometric noise on a counting query",
+    )
+
+
+def _randomized_response(
+    epsilon: float, n: int, noise_scale: float
+) -> PreparedAudit:
+    mechanism = RandomizedResponse(epsilon)
+    if noise_scale != 1.0:
+        boosted = epsilon / noise_scale
+        mechanism.truth_probability = float(
+            np.exp(boosted) / (1.0 + np.exp(boosted))
+        )
+    return PreparedAudit(
+        name="randomized-response",
+        mechanism=mechanism,
+        pair=NeighborPair((0,), (1,), name="single-bit flip"),
+        epsilon=mechanism.epsilon,
+        kind="discrete",
+        output_key=lambda bits: int(np.asarray(bits).reshape(-1)[0]),
+        note="Warner randomization of one bit — saturates ε exactly",
+    )
+
+
+def _exponential(
+    epsilon: float, n: int, noise_scale: float, *, calibrated: bool = True
+) -> PreparedAudit:
+    mechanism = ExponentialMechanism(
+        _match_quality, (0, 1), 1.0, epsilon, calibrated=calibrated
+    )
+    if noise_scale != 1.0:
+        mechanism.scale = mechanism.scale / noise_scale
+
+    def sampler(dataset, size, rng):
+        return mechanism.output_distribution(list(dataset)).sample(
+            size=size, random_state=rng
+        )
+
+    name = "exponential" if calibrated else "exponential-paper"
+    note = (
+        "McSherry–Talwar selection, modern ε-DP calibration"
+        if calibrated
+        else "paper's raw exp(ε·q) form — Theorem 2.5's 2εΔq guarantee"
+    )
+    return PreparedAudit(
+        name=name,
+        mechanism=mechanism,
+        pair=score_gap_pair(n),
+        epsilon=mechanism.epsilon,
+        kind="discrete",
+        sampler=sampler,
+        note=note,
+    )
+
+
+def _exponential_paper(
+    epsilon: float, n: int, noise_scale: float
+) -> PreparedAudit:
+    return _exponential(epsilon, n, noise_scale, calibrated=False)
+
+
+def _noisy_max(epsilon: float, n: int, noise_scale: float) -> PreparedAudit:
+    mechanism = ReportNoisyMax(_match_quality, (0, 1), 1.0, epsilon)
+    if noise_scale != 1.0:
+        mechanism.noise = GumbelNoise(scale=mechanism.noise.scale * noise_scale)
+    return PreparedAudit(
+        name="noisy-max",
+        mechanism=mechanism,
+        pair=score_gap_pair(n),
+        epsilon=mechanism.epsilon,
+        kind="discrete",
+        note="Gumbel report-noisy-max (= exponential mechanism's law)",
+    )
+
+
+def _sparse_vector(epsilon: float, n: int, noise_scale: float) -> PreparedAudit:
+    mechanism = SparseVector(0.5, 1.0, epsilon, max_positives=1)
+    if noise_scale != 1.0:
+        mechanism._threshold_noise = LaplaceNoise(
+            scale=mechanism._threshold_noise.scale * noise_scale
+        )
+        mechanism._query_noise = LaplaceNoise(
+            scale=mechanism._query_noise.scale * noise_scale
+        )
+    queries = (_count_query, lambda data: len(data) - _count_query(data))
+    base = bit_flip_pair(n)
+    pair = NeighborPair(
+        (base.a, queries), (base.b, queries), name=base.name + "+2 queries"
+    )
+    return PreparedAudit(
+        name="sparse-vector",
+        mechanism=mechanism,
+        pair=pair,
+        epsilon=mechanism.epsilon,
+        kind="discrete",
+        output_key=lambda answers: tuple(bool(a) for a in answers),
+        note="AboveThreshold answer stream under the total ε₁+ε₂ budget",
+    )
+
+
+def _gibbs(epsilon: float, n: int, noise_scale: float) -> PreparedAudit:
+    task = BernoulliTask(p=0.7)
+    grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 5)
+    mechanism = GibbsEstimator.from_privacy(grid, epsilon, expected_sample_size=n)
+    if noise_scale != 1.0:
+        mechanism.gibbs.temperature = mechanism.gibbs.temperature / noise_scale
+
+    def sampler(dataset, size, rng):
+        return mechanism.output_distribution(list(dataset)).sample(
+            size=size, random_state=rng
+        )
+
+    return PreparedAudit(
+        name="gibbs",
+        mechanism=mechanism,
+        pair=bit_flip_pair(n),
+        epsilon=mechanism.epsilon,
+        kind="discrete",
+        sampler=sampler,
+        note="Theorem 4.1: the Gibbs posterior as a 2λΔ(R̂)-DP mechanism",
+    )
+
+
+_BUILDERS: dict[str, Callable[[float, int, float], PreparedAudit]] = {
+    "laplace": _laplace,
+    "geometric": _geometric,
+    "exponential": _exponential,
+    "exponential-paper": _exponential_paper,
+    "randomized-response": _randomized_response,
+    "noisy-max": _noisy_max,
+    "sparse-vector": _sparse_vector,
+    "gibbs": _gibbs,
+}
+
+#: Registry keys, in audit order.
+AUDIT_FAMILIES: tuple[str, ...] = tuple(_BUILDERS)
+
+
+def build_audit(
+    family: str,
+    *,
+    epsilon: float = 1.0,
+    n: int = 3,
+    noise_scale: float = 1.0,
+) -> PreparedAudit:
+    """Build the named family's mechanism + worst-case pair, ready to audit.
+
+    Parameters
+    ----------
+    family:
+        One of :data:`AUDIT_FAMILIES`.
+    epsilon:
+        Target privacy parameter for the mechanism's construction.
+    n:
+        Dataset size of the neighbour pair.
+    noise_scale:
+        1.0 builds the mechanism as shipped; values below 1.0 deliberately
+        shrink its noise so the audit *should* fail (harness self-test).
+    """
+    epsilon = check_positive(epsilon, name="epsilon")
+    noise_scale = check_positive(noise_scale, name="noise_scale")
+    if n < 1:
+        raise ValidationError("n must be >= 1")
+    if family not in _BUILDERS:
+        known = ", ".join(AUDIT_FAMILIES)
+        raise ValidationError(f"unknown audit family {family!r}; known: {known}")
+    prepared = _BUILDERS[family](epsilon, int(n), noise_scale)
+    if noise_scale != 1.0:
+        prepared = replace(prepared, name=f"{prepared.name}(noise×{noise_scale:g})")
+    return prepared
+
+
+def run_audit(
+    prepared: PreparedAudit,
+    *,
+    n_samples: int = 12_000,
+    confidence: float = 0.999,
+    random_state=None,
+) -> StatisticalAuditReport:
+    """Audit a prepared case with its registered strategy.
+
+    Parameters
+    ----------
+    prepared:
+        A case from :func:`build_audit`.
+    n_samples:
+        Draws per dataset.
+    confidence:
+        Certification level of a reported violation.
+    random_state:
+        Seed or Generator for the audit's draws.
+    """
+    return audit_mechanism(
+        prepared.mechanism,
+        prepared.pair,
+        epsilon=prepared.epsilon,
+        n_samples=n_samples,
+        confidence=confidence,
+        kind=prepared.kind,
+        random_state=random_state,
+        sampler=prepared.sampler,
+        output_key=prepared.output_key,
+        name=prepared.name,
+    )

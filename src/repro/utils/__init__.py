@@ -2,6 +2,7 @@
 
 from repro.utils.validation import (
     check_array,
+    check_confidence,
     check_in_range,
     check_positive,
     check_probability_vector,
@@ -19,6 +20,7 @@ from repro.utils.numerics import (
 
 __all__ = [
     "check_array",
+    "check_confidence",
     "check_in_range",
     "check_positive",
     "check_probability_vector",

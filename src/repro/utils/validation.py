@@ -106,6 +106,17 @@ def check_in_range(
     return value
 
 
+def check_confidence(value, *, name: str = "confidence") -> float:
+    """Validate a probability-like level lying strictly in ``(0, 1)``.
+
+    Used for confidence levels and event probabilities in the statistical
+    audit harness, where the degenerate endpoints (a 0%- or 100%-confident
+    statement) make the certified bounds meaningless.
+    """
+    value = check_in_range(value, name=name, low=0.0, high=1.0, inclusive=False)
+    return value
+
+
 def check_probability_vector(value, *, name: str = "probabilities") -> np.ndarray:
     """Validate a 1-D nonnegative vector summing to one.
 

@@ -8,6 +8,10 @@ import pytest
 from repro.distributions import DiscreteDistribution
 from repro.learning import BernoulliTask, PredictorGrid
 
+# The statistical tier's plugin: the `statistical` marker with bounded
+# reruns, plus the seeded `statistical_rng` / `statistical_policy` fixtures.
+pytest_plugins = ("repro.testing.plugin",)
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:

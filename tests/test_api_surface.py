@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.mechanisms",
     "repro.privacy",
     "repro.private_learning",
+    "repro.testing",
     "repro.utils",
 ]
 

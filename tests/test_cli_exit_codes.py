@@ -1,0 +1,143 @@
+"""End-to-end exit-code contracts for ``repro lint`` and ``repro audit``.
+
+Both subcommands share one contract, enforced here through ``main()`` and
+through a real ``python -m repro`` subprocess (the code CI actually sees):
+
+* 0 — clean: no findings / every audited claim holds;
+* 1 — findings: lint violations or a certified ε violation;
+* 2 — usage error: unknown rule, unknown family, bad arguments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+# Small sample sizes keep these end-to-end runs fast; the margins they
+# certify (see test values) are far wider than the resulting CP widths.
+FAST_AUDIT = ["--samples", "2000"]
+
+
+def _violating_file(tmp_path: pathlib.Path) -> pathlib.Path:
+    bad = tmp_path / "repro" / "mechanisms" / "snippet.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def f(rng):\n    return rng.laplace(0.0, 1.0)\n")
+    return bad
+
+
+def _run_module(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+        timeout=300,
+    )
+
+
+class TestLintExitCodes:
+    def test_clean_tree_exits_zero(self):
+        import repro
+
+        assert main(["lint", str(next(iter(repro.__path__)))]) == 0
+
+    def test_findings_exit_one(self, tmp_path):
+        assert main(["lint", str(_violating_file(tmp_path))]) == 1
+
+    def test_unknown_rule_exits_two(self, capsys, tmp_path):
+        code = main(
+            ["lint", "--select", "DPL999", str(_violating_file(tmp_path))]
+        )
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys, tmp_path):
+        assert main(["lint", str(tmp_path / "nope.py")]) == 2
+
+    def test_subprocess_findings(self, tmp_path):
+        result = _run_module("lint", str(_violating_file(tmp_path)))
+        assert result.returncode == 1
+        assert "DPL003" in result.stdout
+
+
+class TestAuditExitCodes:
+    def test_honest_mechanism_exits_zero(self, capsys):
+        code = main(["audit", "laplace", *FAST_AUDIT])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out
+
+    def test_violation_exits_one(self, capsys):
+        code = main(
+            ["audit", "laplace", "--noise-scale", "0.4", *FAST_AUDIT]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATION" in out
+
+    def test_unknown_family_exits_two(self, capsys):
+        code = main(["audit", "frobnicate", *FAST_AUDIT])
+        assert code == 2
+        assert "unknown family" in capsys.readouterr().err
+
+    def test_bad_parameters_exit_two(self, capsys):
+        code = main(["audit", "laplace", "--epsilon", "-1", *FAST_AUDIT])
+        assert code == 2
+        assert "epsilon" in capsys.readouterr().err
+
+    def test_list_families_exits_zero(self, capsys):
+        from repro.testing import AUDIT_FAMILIES
+
+        assert main(["audit", "--list"]) == 0
+        out = capsys.readouterr().out
+        for family in AUDIT_FAMILIES:
+            assert family in out
+
+    def test_json_report_round_trips(self, capsys):
+        code = main(
+            ["audit", "randomized-response", "--format", "json", *FAST_AUDIT]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["satisfied"] is True
+        assert payload["reports"][0]["mechanism"] == "randomized-response"
+
+    def test_gibbs_includes_exact_enumeration(self, capsys):
+        code = main(["audit", "gibbs", "--format", "json", *FAST_AUDIT])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["gibbs_exact"]["satisfied"] is True
+        assert payload["gibbs_exact"]["measured_epsilon"] <= 1.0
+
+    def test_skip_exact_omits_enumeration(self, capsys):
+        code = main(
+            ["audit", "gibbs", "--skip-exact", "--format", "json", *FAST_AUDIT]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert "gibbs_exact" not in payload
+
+    def test_subprocess_full_contract(self):
+        ok = _run_module("audit", "randomized-response", *FAST_AUDIT)
+        assert ok.returncode == 0, ok.stderr
+        broken = _run_module(
+            "audit", "laplace", "--noise-scale", "0.4", *FAST_AUDIT
+        )
+        assert broken.returncode == 1, broken.stderr
+        usage = _run_module("audit", "frobnicate")
+        assert usage.returncode == 2

@@ -52,11 +52,13 @@ class TestCli:
 
     def test_audit_passes(self, capsys):
         code = main(
-            ["audit", "--epsilon", "1.0", "--n", "2", "--grid-size", "4"]
+            ["audit", "gibbs", "--epsilon", "1.0", "--n", "2",
+             "--samples", "2000"]
         )
         out = capsys.readouterr().out
         assert code == 0
         assert "OK" in out
+        assert "exact" in out  # the Gibbs family also runs the enumeration audit
 
     def test_tradeoff_prints_table(self, capsys):
         code = main(["tradeoff", "--epsilons", "0.5", "5.0", "--n", "2"])

@@ -1,0 +1,230 @@
+"""Property-based tests for ``repro.distributions`` sampling laws.
+
+Hypothesis drives the *parameters* (scales, probabilities, dimensions)
+while every Monte-Carlo draw uses a seed derived from those parameters, so
+the suite is deterministic (``derandomize=True``) yet covers a family of
+laws instead of one hard-coded instance. Each law is checked against its
+analytic signature: mean/variance where they exist, quantiles where they
+do not (Cauchy), CDF round trips, and normalization of the log-density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    CauchyNoise,
+    DiscreteDistribution,
+    GammaNormVector,
+    GaussianNoise,
+    GumbelNoise,
+    LaplaceNoise,
+)
+from repro.testing import derive_seed
+from repro.utils.validation import check_random_state
+
+EULER_GAMMA = 0.5772156649015329
+
+SCALES = st.floats(min_value=0.05, max_value=20.0, allow_nan=False)
+
+# Deterministic profile: hypothesis enumerates the same examples on every
+# run, and every RNG is seeded from the drawn parameters.
+DETERMINISTIC = settings(
+    derandomize=True,
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _rng(*parts) -> np.random.Generator:
+    return check_random_state(derive_seed("dist-props", *parts))
+
+
+def _normalization(noise, grid_half_width: float, n: int = 20_001) -> float:
+    grid = np.linspace(-grid_half_width, grid_half_width, n)
+    density = np.exp(noise.log_density(grid))
+    return float(np.trapezoid(density, grid))
+
+
+class TestLaplaceLaw:
+    @DETERMINISTIC
+    @given(scale=SCALES)
+    def test_moments_match(self, scale):
+        sample = LaplaceNoise(scale).sample(
+            size=40_000, random_state=_rng("lap", scale)
+        )
+        assert abs(np.mean(sample)) < 5 * scale / np.sqrt(40_000) * 3
+        assert np.var(sample) == pytest.approx(2 * scale**2, rel=0.1)
+
+    @DETERMINISTIC
+    @given(scale=SCALES)
+    def test_cdf_matches_empirical(self, scale):
+        noise = LaplaceNoise(scale)
+        sample = noise.sample(size=20_000, random_state=_rng("lapcdf", scale))
+        for t in (-scale, 0.0, scale / 2, 2 * scale):
+            assert float(noise.cdf(t)) == pytest.approx(
+                np.mean(sample <= t), abs=0.02
+            )
+
+    @DETERMINISTIC
+    @given(scale=SCALES)
+    def test_density_normalizes(self, scale):
+        assert _normalization(LaplaceNoise(scale), 40 * scale) == pytest.approx(
+            1.0, abs=1e-3
+        )
+
+    @DETERMINISTIC
+    @given(scale=SCALES)
+    def test_cdf_median_and_symmetry(self, scale):
+        noise = LaplaceNoise(scale)
+        assert float(noise.cdf(0.0)) == pytest.approx(0.5)
+        assert float(noise.cdf(scale)) + float(noise.cdf(-scale)) == pytest.approx(1.0)
+
+
+class TestGaussianLaw:
+    @DETERMINISTIC
+    @given(sigma=SCALES)
+    def test_variance_matches(self, sigma):
+        noise = GaussianNoise(sigma)
+        sample = noise.sample(size=40_000, random_state=_rng("gauss", sigma))
+        assert np.var(sample) == pytest.approx(noise.variance(), rel=0.1)
+        assert noise.variance() == pytest.approx(sigma**2)
+
+    @DETERMINISTIC
+    @given(sigma=SCALES)
+    def test_density_normalizes(self, sigma):
+        assert _normalization(GaussianNoise(sigma), 12 * sigma) == pytest.approx(
+            1.0, abs=1e-3
+        )
+
+
+class TestGumbelLaw:
+    """The Gumbel law added in PR 1 — previously thin coverage."""
+
+    @DETERMINISTIC
+    @given(scale=SCALES)
+    def test_mean_is_scale_times_euler_gamma(self, scale):
+        sample = GumbelNoise(scale).sample(
+            size=40_000, random_state=_rng("gum", scale)
+        )
+        tolerance = 5 * scale * (np.pi / np.sqrt(6)) / np.sqrt(40_000)
+        assert abs(np.mean(sample) - EULER_GAMMA * scale) < tolerance
+
+    @DETERMINISTIC
+    @given(scale=SCALES)
+    def test_variance_matches_analytic(self, scale):
+        noise = GumbelNoise(scale)
+        sample = noise.sample(size=40_000, random_state=_rng("gumvar", scale))
+        assert noise.variance() == pytest.approx((np.pi**2 / 6) * scale**2)
+        assert np.var(sample) == pytest.approx(noise.variance(), rel=0.12)
+
+    @DETERMINISTIC
+    @given(scale=SCALES)
+    def test_median_matches_closed_form(self, scale):
+        # Gumbel CDF exp(-exp(-x/β)) → median = -β·log(log 2).
+        sample = GumbelNoise(scale).sample(
+            size=40_000, random_state=_rng("gummed", scale)
+        )
+        median = -scale * np.log(np.log(2.0))
+        assert np.median(sample) == pytest.approx(median, abs=0.06 * scale + 0.02)
+
+    @DETERMINISTIC
+    @given(scale=SCALES)
+    def test_density_normalizes(self, scale):
+        grid = np.linspace(-12 * scale, 60 * scale, 40_001)
+        density = np.exp(GumbelNoise(scale).log_density(grid))
+        assert float(np.trapezoid(density, grid)) == pytest.approx(1.0, abs=1e-3)
+
+    def test_gumbel_max_trick_reproduces_softmax(self):
+        """argmax(score + Gumbel(1)) follows softmax(score) — the identity
+        that ties report-noisy-max to the exponential mechanism."""
+        rng = _rng("gumbel-max")
+        scores = np.array([0.0, 1.0, 2.5])
+        noise = GumbelNoise(1.0)
+        draws = scores + noise.sample(size=(30_000, 3), random_state=rng)
+        counts = np.bincount(np.argmax(draws, axis=1), minlength=3) / 30_000
+        expected = np.exp(scores) / np.exp(scores).sum()
+        assert np.allclose(counts, expected, atol=0.015)
+
+
+class TestCauchyLaw:
+    """The Cauchy law added in PR 1 — no finite moments, so check
+    quantiles and densities instead."""
+
+    @DETERMINISTIC
+    @given(scale=SCALES)
+    def test_variance_declared_infinite(self, scale):
+        assert CauchyNoise(scale).variance() == float("inf")
+
+    @DETERMINISTIC
+    @given(scale=SCALES)
+    def test_median_and_quartiles(self, scale):
+        # CDF = 1/2 + arctan(x/γ)/π → quartiles at ±γ exactly.
+        sample = CauchyNoise(scale).sample(
+            size=40_000, random_state=_rng("cauchy", scale)
+        )
+        assert np.median(sample) == pytest.approx(0.0, abs=0.05 * scale + 0.02)
+        assert np.quantile(sample, 0.75) == pytest.approx(scale, rel=0.1)
+        assert np.quantile(sample, 0.25) == pytest.approx(-scale, rel=0.1)
+
+    @DETERMINISTIC
+    @given(scale=SCALES)
+    def test_density_normalizes_on_wide_grid(self, scale):
+        # Polynomial tails: integrate the density plus the analytic tail
+        # mass beyond the grid, 2·(1/2 - arctan(T/γ)/π).
+        half_width = 2_000 * scale
+        body = _normalization(CauchyNoise(scale), half_width, n=400_001)
+        tail = 1.0 - (2.0 / np.pi) * np.arctan(half_width / scale)
+        assert body + tail == pytest.approx(1.0, abs=2e-3)
+
+    @DETERMINISTIC
+    @given(scale=SCALES)
+    def test_log_density_symmetric(self, scale):
+        noise = CauchyNoise(scale)
+        xs = np.array([0.1, 1.0, 7.3]) * scale
+        assert np.allclose(noise.log_density(xs), noise.log_density(-xs))
+
+
+class TestGammaNormVector:
+    @DETERMINISTIC
+    @given(
+        dimension=st.integers(min_value=1, max_value=6),
+        scale=st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_norm_is_gamma_distributed(self, dimension, scale):
+        noise = GammaNormVector(dimension, scale)
+        draws = np.array(
+            [
+                np.linalg.norm(
+                    noise.sample(random_state=_rng("gnv", dimension, scale, i))
+                )
+                for i in range(4_000)
+            ]
+        )
+        # ‖X‖ ~ Gamma(d, scale): mean d·s, variance d·s².
+        assert np.mean(draws) == pytest.approx(dimension * scale, rel=0.1)
+        assert np.var(draws) == pytest.approx(dimension * scale**2, rel=0.25)
+
+
+class TestDiscreteSamplingLaw:
+    @DETERMINISTIC
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.05, max_value=1.0), min_size=2, max_size=6
+        )
+    )
+    def test_empirical_frequencies_match_probabilities(self, weights):
+        probabilities = np.asarray(weights) / np.sum(weights)
+        distribution = DiscreteDistribution(
+            tuple(range(len(weights))), probabilities
+        )
+        rng = _rng("disc", tuple(np.round(probabilities, 6).tolist()))
+        sample = distribution.sample(size=20_000, random_state=rng)
+        counts = np.bincount(np.asarray(sample), minlength=len(weights))
+        empirical = counts / 20_000
+        total_variation = 0.5 * np.abs(empirical - probabilities).sum()
+        assert total_variation < 0.02

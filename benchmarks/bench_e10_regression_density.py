@@ -38,6 +38,57 @@ EPSILONS = [0.1, 0.5, 2.0, 10.0, 50.0]
 SEEDS = 8
 
 
+def bench_case(epsilon, seeds=2, seed=0):
+    """Engine entry point: regression MSE + density TV at one ε."""
+    task = LinearRegressionTask([0.8, -0.5], noise=0.1)
+    x, y = task.sample(600, random_state=0)
+    y = np.clip(y, -1, 1)
+    x_test, y_test = task.sample(3_000, random_state=99)
+    y_test = np.clip(y_test, -1, 1)
+    gibbs_mse, stats_mse = [], []
+    for offset in range(seeds):
+        fit_seed = seed + offset
+        gibbs = GibbsRidgeRegression(
+            2, epsilon, len(y), radius=1.5, points_per_axis=7
+        ).fit(x, y, random_state=fit_seed)
+        stats = SufficientStatisticsRidge(
+            2, epsilon, regularization=0.01
+        ).fit(x, y, random_state=fit_seed)
+        gibbs_mse.append(gibbs.mean_squared_error(x_test, y_test))
+        stats_mse.append(stats.mean_squared_error(x_test, y_test))
+
+    rng = np.random.default_rng(1)
+    data = rng.beta(8.0, 2.0, size=900)
+    truth = discretize_density(
+        lambda v: v**7 * (1 - v) if 0 < v < 1 else 0.0, 16
+    )
+    gibbs_tv, hist_tv = [], []
+    for offset in range(seeds):
+        fit_seed = seed + offset
+        gibbs_density = GibbsDensityEstimator(epsilon, len(data), bins=16).fit(
+            data, random_state=fit_seed
+        )
+        hist = LaplaceHistogramDensity(epsilon, bins=16).fit(
+            data, random_state=fit_seed
+        )
+        gibbs_tv.append(gibbs_density.total_variation_to(truth))
+        hist_tv.append(hist.total_variation_to(truth))
+    return {
+        "regression_gibbs_mse": float(np.mean(gibbs_mse)),
+        "regression_stats_mse": float(np.mean(stats_mse)),
+        "density_gibbs_tv": float(np.mean(gibbs_tv)),
+        "density_histogram_tv": float(np.mean(hist_tv)),
+    }
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"epsilon": EPSILONS},
+    "fixed": {"seeds": 2, "seed": 0},
+    "seed_param": "seed",
+}
+
+
 def test_e10_private_regression(benchmark):
     task = LinearRegressionTask([0.8, -0.5], noise=0.1)
     x, y = task.sample(600, random_state=0)

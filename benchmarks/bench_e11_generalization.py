@@ -41,6 +41,23 @@ def build_report(epsilon: float) -> dict:
     )
 
 
+def bench_case(epsilon):
+    """Engine entry point: one generalization-vs-information row."""
+    report = build_report(epsilon)
+    return {
+        "generalization_gap": float(report["generalization_gap"]),
+        "mutual_information": float(report["mutual_information"]),
+        "bound_xu_raginsky": float(report["bound_xu_raginsky"]),
+        "bound_privacy_chain": float(report["bound_privacy_chain"]),
+    }
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"epsilon": EPSILONS},
+}
+
+
 def test_e11_gap_vs_information(benchmark):
     rows = benchmark.pedantic(
         lambda: [(eps, build_report(eps)) for eps in EPSILONS],

@@ -50,6 +50,29 @@ def worst_pair_laws(epsilon: float):
     return best
 
 
+def bench_case(epsilon):
+    """Engine entry point: worst-pair attack advantage vs the DP cap."""
+    advantage, p, q = worst_pair_laws(epsilon)
+    rr = RandomizedResponse(epsilon)
+    t = rr.truth_probability
+    rr_advantage = membership_advantage(
+        DiscreteDistribution([0, 1], [t, 1 - t]),
+        DiscreteDistribution([0, 1], [1 - t, t]),
+    )
+    return {
+        "attack_advantage": float(advantage),
+        "dp_advantage_cap": float(dp_advantage_bound(epsilon)),
+        "randomized_response_advantage": float(rr_advantage),
+        "tradeoff_dominates": bool(verify_tradeoff_dominance(p, q, epsilon)),
+    }
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"epsilon": EPSILONS},
+}
+
+
 def test_e12_attack_advantage_vs_epsilon(benchmark):
     rows = benchmark.pedantic(
         lambda: [(eps, worst_pair_laws(eps)) for eps in EPSILONS],

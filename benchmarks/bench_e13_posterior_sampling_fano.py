@@ -37,6 +37,49 @@ N = 400
 SEEDS = 400
 
 
+def bench_case(epsilon, draws=100, seed=1, fano_n=3):
+    """Engine entry point: sampling error + Fano floors at one ε."""
+    task = BernoulliTask(p=TRUE_P)
+    data = task.sample(N, random_state=0)
+    grid = PredictorGrid.linspace(
+        lambda theta, z: (theta - z) ** 2, 0.0, 1.0, 21
+    )
+    rng = np.random.default_rng(seed)
+    sampler = TruncatedBetaBernoulliPosterior(epsilon=epsilon, truncation=0.05)
+    bayes_draws = np.array(
+        [sampler.release(data, random_state=rng) for _ in range(draws)]
+    )
+    gibbs = GibbsEstimator.from_privacy(grid, epsilon, N)
+    gibbs_draws = np.array(
+        [float(gibbs.release(list(data), random_state=rng)) for _ in range(draws)]
+    )
+
+    fano_task = BernoulliTask(p=0.5)
+    fano_grid = PredictorGrid.linspace(fano_task.loss, 0.0, 1.0, 5)
+    law = DiscreteDistribution([0, 1], [0.5, 0.5])
+    estimator = GibbsEstimator.from_privacy(fano_grid, epsilon, fano_n)
+    channel = LearningChannel(law, fano_n, estimator.gibbs.posterior)
+    report = verify_fano(channel.channel, channel.sample_law)
+    return {
+        "bayes_mse": float(((bayes_draws - TRUE_P) ** 2).mean()),
+        "gibbs_mse": float(((gibbs_draws - TRUE_P) ** 2).mean()),
+        "bayes_error": float(report["bayes_error"]),
+        "fano_exact": float(report["fano_bound"]),
+        "fano_chain": float(
+            dp_identification_lower_bound(epsilon, fano_n, 2**fano_n)
+        ),
+        "fano_holds": bool(report["holds"]),
+    }
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"epsilon": EPSILONS},
+    "fixed": {"draws": 100, "seed": 1, "fano_n": 3},
+    "seed_param": "seed",
+}
+
+
 def test_e13_posterior_sampling_error(benchmark):
     task = BernoulliTask(p=TRUE_P)
     data = task.sample(N, random_state=0)

@@ -52,6 +52,22 @@ def total_epsilons(k: int) -> dict:
     }
 
 
+def bench_case(k):
+    """Engine entry point: all three accountants at one query count k."""
+    row = total_epsilons(k)
+    return {
+        "epsilon_basic": float(row["basic"]),
+        "epsilon_advanced": float(row["advanced"]),
+        "epsilon_rdp": float(row["rdp"]),
+    }
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"k": KS},
+}
+
+
 def test_e14_accountant_comparison(benchmark):
     rows = benchmark.pedantic(
         lambda: [total_epsilons(k) for k in KS], rounds=1, iterations=1

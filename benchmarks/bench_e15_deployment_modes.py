@@ -31,15 +31,15 @@ N_USERS = 20_000
 EPSILONS = [0.5, 1.0, 2.0, 4.0]
 
 
-def frequency_errors(epsilon: float, seed: int) -> dict:
+def frequency_errors(epsilon: float, seed: int, n_users: int = N_USERS) -> dict:
     rng = np.random.default_rng(seed)
-    records = rng.choice(CATEGORIES, size=N_USERS, p=WEIGHTS).tolist()
+    records = rng.choice(CATEGORIES, size=n_users, p=WEIGHTS).tolist()
     truth = np.array(
-        [records.count(c) / N_USERS for c in CATEGORIES]
+        [records.count(c) / n_users for c in CATEGORIES]
     )
 
     central = PrivateHistogram(CATEGORIES, epsilon=epsilon)
-    central_estimate = central.release(records, random_state=rng) / N_USERS
+    central_estimate = central.release(records, random_state=rng) / n_users
 
     krr = KRandomizedResponse(CATEGORIES, epsilon=epsilon)
     krr_estimate = krr.estimate_frequencies(
@@ -60,6 +60,48 @@ def frequency_errors(epsilon: float, seed: int) -> dict:
         "krr": l1(krr_estimate),
         "unary": l1(unary_estimate),
     }
+
+
+def bench_case(epsilon, n_users=4000, seed=17, horizon=256, repeats=5):
+    """Engine entry point: local-vs-central errors + continual counting."""
+    frequencies = frequency_errors(epsilon, seed=seed, n_users=n_users)
+
+    rng = np.random.default_rng(seed + 6)
+    stream = (rng.uniform(size=horizon) < 0.3).astype(float)
+    truth = np.cumsum(stream)
+    tree = TreeAggregator(horizon=horizon, epsilon=epsilon)
+    naive = NaivePrefixRelease(horizon=horizon, epsilon=epsilon)
+    tree_rms = np.sqrt(
+        np.mean(
+            [
+                np.mean((tree.release(stream, random_state=rng) - truth) ** 2)
+                for _ in range(repeats)
+            ]
+        )
+    )
+    naive_rms = np.sqrt(
+        np.mean(
+            [
+                np.mean((naive.release(stream, random_state=rng) - truth) ** 2)
+                for _ in range(repeats)
+            ]
+        )
+    )
+    return {
+        "central_l1": float(frequencies["central"]),
+        "krr_l1": float(frequencies["krr"]),
+        "unary_l1": float(frequencies["unary"]),
+        "tree_rms": float(tree_rms),
+        "naive_rms": float(naive_rms),
+    }
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"epsilon": EPSILONS},
+    "fixed": {"n_users": 4000, "seed": 17, "horizon": 256, "repeats": 5},
+    "seed_param": "seed",
+}
 
 
 def test_e15_local_vs_central(benchmark):

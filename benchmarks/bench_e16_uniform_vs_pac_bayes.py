@@ -40,6 +40,27 @@ def build_instance(n: int, seed: int):
     return task, grid, list(zip(x, y))
 
 
+def bench_case(n, seed=None):
+    """Engine entry point: one certificate-comparison row at sample size n."""
+    task, grid, sample = build_instance(n, seed=n if seed is None else seed)
+    out = compare_uniform_vs_pac_bayes(grid, sample, vc_dimension=1, delta=DELTA)
+    risks = grid.empirical_risks(sample)
+    erm_theta = grid.thetas[int(np.argmin(risks))]
+    return {
+        "erm_true_risk": float(task.true_risk(erm_theta)),
+        "occam": float(out["occam"]),
+        "vc": float(out["vc"]),
+        "catoni": float(out["catoni"]),
+        "seeger": float(out["seeger"]),
+    }
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"n": SAMPLE_SIZES},
+}
+
+
 def test_e16_certificate_comparison(benchmark):
     def run():
         rows = []

@@ -29,6 +29,25 @@ def build_channel(instance, epsilon):
     )
 
 
+def bench_case(epsilon, p=0.7, grid_size=5, n=2):
+    """Engine entry point: one (ε, p, grid, n) channel, summarized."""
+    instance = bernoulli_instance(p=p, grid_size=grid_size, n=n)
+    summary = build_channel(instance, epsilon).leakage_summary()
+    return {
+        "mutual_information": float(summary["mutual_information"]),
+        "sample_entropy": float(summary["sample_entropy"]),
+        "leakage_fraction": float(summary["leakage_fraction"]),
+        "exact_privacy_loss": float(summary["exact_privacy_loss"]),
+    }
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"epsilon": EPSILONS},
+    "fixed": {"p": 0.7, "grid_size": 5, "n": 2},
+}
+
+
 def test_e1_channel_information_curve(benchmark):
     instance = bernoulli_instance(p=0.7, grid_size=5, n=2)
 

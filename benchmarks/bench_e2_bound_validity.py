@@ -30,7 +30,7 @@ TRIALS = 400
 SAMPLE_SIZES = [50, 200, 1000]
 
 
-def run_coverage(n: int, seed: int = 0) -> dict:
+def run_coverage(n: int, seed: int = 0, trials: int = TRIALS) -> dict:
     task = BernoulliTask(p=0.7)
     grid = PredictorGrid.linspace(task.loss, 0.0, 1.0, 9)
     prior = DiscreteDistribution.uniform(grid.thetas)
@@ -40,7 +40,7 @@ def run_coverage(n: int, seed: int = 0) -> dict:
 
     violations = {"catoni": 0, "mcallester": 0, "seeger": 0}
     gaps = {"catoni": [], "mcallester": [], "seeger": []}
-    for _ in range(TRIALS):
+    for _ in range(trials):
         sample = list(task.sample(n, random_state=rng))
         risks = grid.empirical_risks(sample)
         posterior = gibbs_minimizer(prior, risks, lam)
@@ -59,10 +59,28 @@ def run_coverage(n: int, seed: int = 0) -> dict:
     return {
         "n": n,
         "coverage": {
-            name: 1.0 - violations[name] / TRIALS for name in violations
+            name: 1.0 - violations[name] / trials for name in violations
         },
         "mean_gap": {name: float(np.mean(gaps[name])) for name in gaps},
     }
+
+
+def bench_case(n, trials=80, seed=0):
+    """Engine entry point: coverage/tightness at one n, flattened."""
+    result = run_coverage(n, seed=seed, trials=trials)
+    outputs = {"n": int(n)}
+    for name in ("catoni", "mcallester", "seeger"):
+        outputs[f"coverage_{name}"] = float(result["coverage"][name])
+        outputs[f"mean_gap_{name}"] = float(result["mean_gap"][name])
+    return outputs
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"n": SAMPLE_SIZES},
+    "fixed": {"trials": 80, "seed": 0},
+    "seed_param": "seed",
+}
 
 
 def test_e2_bound_coverage_and_tightness(benchmark):

@@ -35,6 +35,44 @@ def build_instance(seed=0, n=60, grid_size=6):
     return prior, grid.empirical_risks(sample)
 
 
+def bench_case(lam, seed=0, n=60, grid_size=6, random_draws=200):
+    """Engine entry point: Gibbs optimality at one temperature."""
+    prior, risks = build_instance(seed=seed, n=n, grid_size=grid_size)
+    rng = np.random.default_rng(seed + 1)
+    gibbs = gibbs_minimizer(prior, risks, lam)
+    gibbs_value = catoni_objective(gibbs, prior, risks, lam)
+    closed_form = optimal_objective_value(prior, risks, lam)
+    best_random = min(
+        catoni_objective(
+            DiscreteDistribution(
+                prior.support, rng.dirichlet(np.ones(len(prior)))
+            ),
+            prior,
+            risks,
+            lam,
+        )
+        for _ in range(random_draws)
+    )
+    numerical, numerical_value = minimize_catoni_bound(
+        prior, risks, lam, numerical=True
+    )
+    return {
+        "objective_gibbs": float(gibbs_value),
+        "free_energy": float(closed_form),
+        "best_random": float(best_random),
+        "numerical": float(numerical_value),
+        "tv_to_gibbs": float(numerical.total_variation_distance(gibbs)),
+    }
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"lam": TEMPERATURES},
+    "fixed": {"seed": 0, "n": 60, "grid_size": 6, "random_draws": 200},
+    "seed_param": "seed",
+}
+
+
 def test_e3_gibbs_vs_competitors(benchmark):
     prior, risks = build_instance()
     rng = np.random.default_rng(1)

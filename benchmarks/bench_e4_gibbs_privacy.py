@@ -38,6 +38,22 @@ def audit_row(epsilon: float, n: int) -> dict:
     }
 
 
+def bench_case(epsilon, n):
+    """Engine entry point: one exact neighbour-pair audit cell."""
+    row = audit_row(epsilon, n)
+    return {
+        "measured_epsilon": float(row["measured"]),
+        "satisfied": bool(row["satisfied"]),
+        "pairs_checked": int(row["pairs"]),
+    }
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"epsilon": EPSILONS, "n": SAMPLE_SIZES},
+}
+
+
 def test_e4_exact_audit_sweep(benchmark):
     rows = benchmark.pedantic(
         lambda: [

@@ -24,6 +24,30 @@ from repro.information.blahut_arimoto import rate_distortion_free_energy
 EPSILONS = [0.1, 0.5, 1.0, 2.0, 5.0, 20.0]
 
 
+def bench_case(epsilon, p=0.7, grid_size=5, n=2):
+    """Engine entry point: one alternating minimization at ε."""
+    instance = bernoulli_instance(p=p, grid_size=grid_size, n=n)
+    source, risks = instance["source"], instance["risk_matrix"]
+    result = minimize_tradeoff(source, risks, epsilon)
+    free_energy = rate_distortion_free_energy(source, risks, epsilon) / epsilon
+    return {
+        "objective": float(result.objective),
+        "free_energy": float(free_energy),
+        "mutual_information": float(result.mutual_information),
+        "expected_empirical_risk": float(result.expected_empirical_risk),
+        "gibbs_deviation": float(result.gibbs_deviation),
+        "iterations": int(result.iterations),
+        "converged": bool(result.converged),
+    }
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"epsilon": EPSILONS},
+    "fixed": {"p": 0.7, "grid_size": 5, "n": 2},
+}
+
+
 def test_e5_fixed_point_sweep(benchmark):
     instance = bernoulli_instance(p=0.7, grid_size=5, n=2)
     source, risks = instance["source"], instance["risk_matrix"]

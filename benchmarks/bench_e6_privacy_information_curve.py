@@ -26,6 +26,31 @@ from repro.information import mutual_information_histogram
 EPSILONS = [0.1, 1.0, 3.0, 5.0, 8.0, 12.0, 20.0, 50.0]
 
 
+def bench_case(epsilon, p=0.75, grid_size=5, n=3):
+    """Engine entry point: one frontier point of the optimal channel."""
+    from repro.core.tradeoff import minimize_tradeoff
+
+    instance = bernoulli_instance(p=p, grid_size=grid_size, n=n)
+    source, risks = instance["source"], instance["risk_matrix"]
+    task, grid = instance["task"], instance["grid"]
+    true_risks = np.array([task.true_risk(t) for t in grid.thetas])
+    result = minimize_tradeoff(source, risks, epsilon)
+    joint = source[:, None] * result.channel.matrix
+    true_risk = float((joint.sum(axis=0) * true_risks).sum())
+    return {
+        "mutual_information": float(result.mutual_information),
+        "empirical_risk": float(result.expected_empirical_risk),
+        "true_risk": true_risk,
+    }
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"epsilon": EPSILONS},
+    "fixed": {"p": 0.75, "grid_size": 5, "n": 3},
+}
+
+
 def test_e6_frontier(benchmark):
     instance = bernoulli_instance(p=0.75, grid_size=5, n=3)
     source, risks = instance["source"], instance["risk_matrix"]

@@ -72,6 +72,39 @@ def accuracy_sweep():
     return baseline, rows
 
 
+def bench_case(epsilon, seeds=3, resolution=32, seed=0):
+    """Engine entry point: mean private-classifier accuracy at one ε."""
+    task, (x, y), (x_test, y_test) = build_data()
+    out_acc, obj_acc, gibbs_acc = [], [], []
+    for offset in range(seeds):
+        fit_seed = seed + offset
+        out = OutputPerturbationClassifier(
+            LogisticLoss(), REGULARIZATION, epsilon
+        ).fit(x, y, random_state=fit_seed)
+        obj = ObjectivePerturbationClassifier(
+            LogisticLoss(), REGULARIZATION, epsilon
+        ).fit(x, y, random_state=fit_seed)
+        gibbs = ExponentialMechanismLearner(
+            2, epsilon, N_TRAIN, resolution=resolution
+        ).fit(x, y, random_state=fit_seed)
+        out_acc.append(out.accuracy(x_test, y_test))
+        obj_acc.append(obj.accuracy(x_test, y_test))
+        gibbs_acc.append(gibbs.accuracy(x_test, y_test))
+    return {
+        "accuracy_output_perturbation": float(np.mean(out_acc)),
+        "accuracy_objective_perturbation": float(np.mean(obj_acc)),
+        "accuracy_gibbs": float(np.mean(gibbs_acc)),
+    }
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"epsilon": EPSILONS},
+    "fixed": {"seeds": 3, "resolution": 32, "seed": 0},
+    "seed_param": "seed",
+}
+
+
 def test_e7_accuracy_vs_epsilon(benchmark):
     baseline, rows = benchmark.pedantic(accuracy_sweep, rounds=1, iterations=1)
 

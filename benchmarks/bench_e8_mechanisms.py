@@ -39,6 +39,63 @@ def geometric_output_law(mechanism, dataset, support):
     return DiscreteDistribution(list(support), probs / probs.sum())
 
 
+def bench_case(epsilon, error_samples=1000, seed=0):
+    """Engine entry point: measured privacy loss + Laplace MAE at one ε."""
+    geom = GeometricMechanism(count_query, 1.0, epsilon)
+    support = range(-200, 204)
+    geom_measured = (
+        ExactPrivacyAuditor(
+            lambda d, geom=geom: geometric_output_law(geom, d, support)
+        )
+        .audit([0, 1], n=3)
+        .measured_epsilon
+    )
+    rr_measured = RandomizedResponse(epsilon).as_channel().max_log_ratio()
+    lap = LaplaceMechanism(count_query, 1.0, epsilon)
+    lap_measured = abs(
+        lap.output_log_density([0, 0], 50.0)
+        - lap.output_log_density([0, 1], 50.0)
+    )
+    exp_mech = ExponentialMechanism(
+        lambda d, u: -abs(sum(d) - u),
+        outputs=range(4),
+        sensitivity=1.0,
+        epsilon=epsilon,
+    )
+    exp_measured = (
+        ExactPrivacyAuditor(exp_mech.output_distribution)
+        .audit([0, 1], n=3)
+        .measured_epsilon
+    )
+    rng = np.random.default_rng(seed)
+    dataset = [1, 0, 1, 1, 0]
+    truth = count_query(dataset)
+    lap_mae = float(
+        np.mean(
+            [
+                abs(lap.release(dataset, random_state=rng) - truth)
+                for _ in range(error_samples)
+            ]
+        )
+    )
+    return {
+        "measured_geometric": float(geom_measured),
+        "measured_randomized_response": float(rr_measured),
+        "measured_laplace": float(lap_measured),
+        "measured_exponential": float(exp_measured),
+        "laplace_mae": lap_mae,
+        "laplace_mae_theory": float(lap.expected_absolute_error()),
+    }
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"epsilon": EPSILONS},
+    "fixed": {"error_samples": 1000, "seed": 0},
+    "seed_param": "seed",
+}
+
+
 def test_e8_privacy_audit_table(benchmark):
     def run():
         rows = []

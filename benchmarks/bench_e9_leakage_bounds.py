@@ -43,6 +43,27 @@ def build_report(instance, epsilon):
     )
 
 
+def bench_case(epsilon, p=0.7, grid_size=5, n=2):
+    """Engine entry point: one leakage-bound report row."""
+    instance = bernoulli_instance(p=p, grid_size=grid_size, n=n)
+    report = build_report(instance, epsilon)
+    return {
+        "mutual_information": float(report["mutual_information"]),
+        "bound_group_privacy": float(report["bound_group_privacy"]),
+        "bound_capacity": float(report["bound_capacity"]),
+        "bound_source_entropy": float(report["bound_source_entropy"]),
+        "min_entropy_leakage": float(report["min_entropy_leakage"]),
+        "bound_alvim_min_entropy": float(report["bound_alvim_min_entropy"]),
+    }
+
+
+BENCH_SPEC = {
+    "case": bench_case,
+    "grid": {"epsilon": EPSILONS},
+    "fixed": {"p": 0.7, "grid_size": 5, "n": 2},
+}
+
+
 def test_e9_mi_bound_comparison(benchmark):
     instance = bernoulli_instance(p=0.7, grid_size=5, n=2)
 

@@ -3,7 +3,14 @@
 Commands
 --------
 ``experiments``
-    List the reproduction's experiments (E1…E12) and their bench files.
+    List the reproduction's experiments and their bench files (the range
+    is derived from the registry, never hard-coded).
+``bench``
+    Drive the registered benchmark experiments through the parallel,
+    cached engine and write machine-readable ``BENCH_<id>.json``
+    manifests. Exit code 0 when every configuration succeeded, 1 when
+    any failed after retries, 2 on usage errors — the same contract as
+    ``lint``/``audit``.
 ``audit``
     Statistical verification of every mechanism family's claimed ε:
     Monte-Carlo audits with certified Clopper–Pearson lower bounds, plus
@@ -39,7 +46,74 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("experiments", help="list the reproduction's experiments")
+    from repro.experiments.registry import experiment_span
+
+    sub.add_parser(
+        "experiments",
+        help=f"list the reproduction's experiments ({experiment_span()})",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run benchmark experiments through the parallel cached "
+        "engine and write BENCH_<id>.json manifests",
+    )
+    bench.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids or globs, case-insensitive (e.g. E4 'e1?' "
+        "'E*'); default: all registered experiments",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size per experiment sweep (default: 1, serial)",
+    )
+    bench.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-configuration wall-clock budget in seconds",
+    )
+    bench.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry budget per failing configuration (seeds re-derived)",
+    )
+    bench.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every configuration, ignoring the result cache",
+    )
+    bench.add_argument(
+        "--cache-dir",
+        default=".repro_bench_cache",
+        help="result-cache directory (default: .repro_bench_cache)",
+    )
+    bench.add_argument(
+        "--output-dir",
+        default="bench_results",
+        help="directory receiving BENCH_<id>.json (default: bench_results)",
+    )
+    bench.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    bench.add_argument(
+        "--json",
+        action="store_const",
+        const="json",
+        dest="format",
+        help="shorthand for --format json",
+    )
+    bench.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_experiments",
+        help="print the experiments the selection resolves to and exit",
+    )
 
     audit = sub.add_parser(
         "audit",
@@ -128,6 +202,80 @@ def _cmd_experiments(args) -> int:
         table.add_row(experiment.id, experiment.claim, experiment.bench)
     print(table)
     return 0
+
+
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.exceptions import ValidationError
+    from repro.experiments import (
+        BenchmarkEngine,
+        ResultCache,
+        ResultTable,
+        select_experiments,
+    )
+
+    try:
+        selected = select_experiments(args.experiments)
+    except ValidationError as error:
+        print(f"bench: {error}", file=sys.stderr)
+        return 2
+    if args.list_experiments:
+        for experiment in selected:
+            print(f"{experiment.id}  {experiment.bench}")
+        return 0
+    try:
+        engine = BenchmarkEngine(
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            cache=None if args.no_cache else ResultCache(args.cache_dir),
+            output_dir=args.output_dir,
+        )
+    except ValidationError as error:
+        print(f"bench: {error}", file=sys.stderr)
+        return 2
+
+    manifests = []
+    for experiment in selected:
+        try:
+            manifests.append(engine.run_experiment(experiment))
+        except ValidationError as error:
+            print(f"bench: {experiment.id}: {error}", file=sys.stderr)
+            return 2
+
+    failures = sum(manifest.failures for manifest in manifests)
+    if args.format == "json":
+        payload = {
+            "workers": args.workers,
+            "cache": not args.no_cache,
+            "failures": failures,
+            "manifests": [manifest.to_dict() for manifest in manifests],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        table = ResultTable(
+            ["id", "configs", "cache hits", "failures", "seconds", "manifest"],
+            title=f"Benchmark engine run (workers={args.workers})",
+        )
+        for manifest in manifests:
+            table.add_row(
+                manifest.experiment_id,
+                len(manifest.records),
+                manifest.cache_hits,
+                manifest.failures,
+                manifest.total_seconds,
+                f"{args.output_dir}/BENCH_{manifest.experiment_id}.json",
+            )
+        print(table)
+        verdict = "OK" if failures == 0 else "FAILED"
+        print(
+            f"bench {verdict}: "
+            f"{sum(len(m.records) for m in manifests)} configurations, "
+            f"{sum(m.cache_hits for m in manifests)} cache hits, "
+            f"{failures} failures"
+        )
+    return 0 if failures == 0 else 1
 
 
 def _cmd_audit(args) -> int:
@@ -291,6 +439,7 @@ def _cmd_lint(args) -> int:
 
 _COMMANDS = {
     "experiments": _cmd_experiments,
+    "bench": _cmd_bench,
     "audit": _cmd_audit,
     "tradeoff": _cmd_tradeoff,
     "release": _cmd_release,

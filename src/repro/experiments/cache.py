@@ -1,0 +1,196 @@
+"""Content-addressed on-disk cache for benchmark configuration results.
+
+A cache entry is keyed by the experiment id, the canonicalized
+configuration parameters, and a *code-version digest* of the modules that
+implement the experiment (plus its bench file). Any edit to those sources
+changes the digest, so stale results can never be served after the code
+they measured has moved — re-running after a refactor transparently
+recomputes everything, while repeated runs of unchanged code skip straight
+to the stored outputs.
+
+Layout on disk: ``<root>/<key[:2]>/<key>.json`` where ``key`` is the
+SHA-256 hex digest of the identity triple. Entries are whole JSON
+documents written atomically (tmp file + rename).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+import os
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["ResultCache", "canonical_parameters", "code_digest"]
+
+
+def _jsonable(value):
+    """JSON fallback: coerce numpy scalars/arrays so keys are stable."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"parameter of type {type(value).__name__} is not JSON-serializable")
+
+
+def canonical_parameters(parameters: Mapping) -> str:
+    """One canonical JSON string for a configuration's parameters.
+
+    Keys are sorted and numpy scalars are coerced to Python scalars, so
+    logically-equal configurations always map to the same cache key.
+
+    Parameters
+    ----------
+    parameters:
+        The configuration's parameter mapping (JSON-serializable values).
+    """
+    if not isinstance(parameters, Mapping):
+        raise ValidationError("parameters must be a mapping")
+    return json.dumps(
+        dict(parameters),
+        sort_keys=True,
+        separators=(",", ":"),
+        default=_jsonable,
+    )
+
+
+def _module_sources(module_name: str) -> list[tuple[str, bytes]]:
+    """(label, source-bytes) pairs for a module or package, sorted."""
+    try:
+        spec = importlib.util.find_spec(module_name)
+    except (ImportError, ValueError):
+        spec = None
+    if spec is None:
+        return [(f"{module_name}:missing", b"")]
+    files: list[Path] = []
+    if spec.submodule_search_locations:
+        for location in sorted(spec.submodule_search_locations):
+            files.extend(sorted(Path(location).rglob("*.py")))
+    elif spec.origin and spec.origin not in ("built-in", "frozen"):
+        files.append(Path(spec.origin))
+    sources = []
+    for path in files:
+        try:
+            sources.append((f"{module_name}:{path.name}", path.read_bytes()))
+        except OSError:
+            sources.append((f"{module_name}:{path.name}:unreadable", b""))
+    return sources
+
+
+def code_digest(modules: Iterable[str], extra_paths: Iterable = ()) -> str:
+    """SHA-256 digest over the source of the implementing modules.
+
+    Parameters
+    ----------
+    modules:
+        Importable module/package names whose source defines the
+        experiment's behaviour (packages are walked recursively).
+    extra_paths:
+        Additional files to fold into the digest (e.g. the bench file
+        that drives the experiment).
+    """
+    hasher = hashlib.sha256()
+    for name in sorted(set(modules)):
+        for label, blob in _module_sources(name):
+            hasher.update(label.encode())
+            hasher.update(b"\x00")
+            hasher.update(blob)
+            hasher.update(b"\x01")
+    for path in sorted(str(p) for p in extra_paths):
+        hasher.update(os.path.basename(path).encode())
+        hasher.update(b"\x00")
+        try:
+            hasher.update(Path(path).read_bytes())
+        except OSError:
+            hasher.update(b"<unreadable>")
+        hasher.update(b"\x01")
+    return hasher.hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of completed benchmark configurations.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the cache; created lazily on first write.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def key(self, experiment_id: str, parameters: Mapping, digest: str) -> str:
+        """The cache key for one (experiment, configuration, code) triple.
+
+        Parameters
+        ----------
+        experiment_id:
+            Registry id of the experiment (e.g. ``"E4"``).
+        parameters:
+            The configuration's parameters (canonicalized internally).
+        digest:
+            Code-version digest from :func:`code_digest`.
+        """
+        identity = "\n".join(
+            [str(experiment_id), str(digest), canonical_parameters(parameters)]
+        )
+        return hashlib.sha256(identity.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            with path.open(encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None  # miss, or a torn entry: treat as absent and re-run
+        if not isinstance(payload, dict) or "outputs" not in payload:
+            return None
+        return payload
+
+    def put(self, key: str, payload: Mapping) -> None:
+        """Atomically store ``payload`` (a JSON-serializable mapping).
+
+        Parameters
+        ----------
+        key:
+            Cache key from :meth:`key`.
+        payload:
+            Mapping with at least an ``"outputs"`` entry.
+        """
+        if "outputs" not in payload:
+            raise ValidationError("cache payloads must carry an 'outputs' entry")
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(dict(payload), sort_keys=True, default=_jsonable),
+            encoding="utf-8",
+        )
+        tmp.replace(path)
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for entry in self.root.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                continue  # concurrent eviction; nothing to do
+        return removed

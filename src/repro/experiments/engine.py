@@ -1,0 +1,286 @@
+"""The benchmark engine: parallel, cached, fault-tolerant experiment runs.
+
+Each registered experiment's bench file (``benchmarks/bench_e*.py``)
+exports a ``BENCH_SPEC`` — a picklable ``case`` function plus the
+parameter ``grid``/``fixed`` values it sweeps. :class:`BenchmarkEngine`
+expands the grid, serves completed configurations from the
+content-addressed :class:`~repro.experiments.cache.ResultCache` (keyed by
+experiment id + canonical parameters + a code digest of the implementing
+modules), fans the misses out over the runner's process-pool backend, and
+records everything in a :class:`~repro.experiments.manifest.RunManifest`
+written as ``BENCH_<id>.json``. Parallel runs return results in grid
+order, bit-identical to serial runs.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import importlib
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import ValidationError
+from repro.experiments.cache import ResultCache, code_digest
+from repro.experiments.manifest import ConfigurationRecord, RunManifest
+from repro.experiments.registry import EXPERIMENTS, Experiment
+from repro.experiments.runner import expand_grid, run_configurations
+
+__all__ = [
+    "BenchSpec",
+    "BenchmarkEngine",
+    "load_bench_spec",
+    "select_experiments",
+]
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """A bench module's engine entry point.
+
+    Parameters
+    ----------
+    case:
+        Module-level function running one configuration; returns a
+        mapping of JSON-serializable outputs. Must be picklable.
+    grid:
+        Parameter name -> sequence of values to sweep.
+    fixed:
+        Parameters held constant across the sweep.
+    seed_param:
+        Optional name of an integer seed parameter, re-derived on retries.
+    source:
+        Path of the bench file the spec was loaded from (folded into the
+        code digest), when known.
+    """
+
+    case: Callable[..., Mapping]
+    grid: Mapping[str, Sequence]
+    fixed: Mapping = field(default_factory=dict)
+    seed_param: str | None = None
+    source: str | None = None
+
+
+def load_bench_spec(experiment: Experiment) -> BenchSpec:
+    """Import an experiment's bench module and validate its ``BENCH_SPEC``.
+
+    Parameters
+    ----------
+    experiment:
+        Registry entry whose ``bench`` file names the module to import
+        (``benchmarks/bench_e4_gibbs_privacy.py`` ->
+        ``benchmarks.bench_e4_gibbs_privacy``).
+    """
+    stem = Path(experiment.bench).stem
+    module_name = f"benchmarks.{stem}"
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as error:
+        raise ValidationError(
+            f"cannot import bench module {module_name!r} for "
+            f"{experiment.id}: {error}"
+        ) from error
+    raw = getattr(module, "BENCH_SPEC", None)
+    if raw is None:
+        raise ValidationError(f"{module_name} defines no BENCH_SPEC")
+    if not isinstance(raw, Mapping):
+        raise ValidationError(f"{module_name}.BENCH_SPEC must be a mapping")
+    case = raw.get("case")
+    if not callable(case):
+        raise ValidationError(f"{module_name}.BENCH_SPEC['case'] must be callable")
+    grid = raw.get("grid")
+    if not isinstance(grid, Mapping) or not grid:
+        raise ValidationError(
+            f"{module_name}.BENCH_SPEC['grid'] must be a non-empty mapping"
+        )
+    fixed = raw.get("fixed", {})
+    if not isinstance(fixed, Mapping):
+        raise ValidationError(f"{module_name}.BENCH_SPEC['fixed'] must be a mapping")
+    seed_param = raw.get("seed_param")
+    if seed_param is not None and not isinstance(seed_param, str):
+        raise ValidationError(
+            f"{module_name}.BENCH_SPEC['seed_param'] must be a string"
+        )
+    return BenchSpec(
+        case=case,
+        grid=grid,
+        fixed=fixed,
+        seed_param=seed_param,
+        source=getattr(module, "__file__", None),
+    )
+
+
+def select_experiments(patterns: Sequence[str] = ()) -> list[Experiment]:
+    """Resolve id/glob patterns against the registry, preserving its order.
+
+    Parameters
+    ----------
+    patterns:
+        Case-insensitive experiment ids or globs (``"E4"``, ``"e1?"``,
+        ``"E*"``). Empty selects every registered experiment. A pattern
+        matching nothing raises :class:`~repro.exceptions.ValidationError`.
+    """
+    if not patterns:
+        return list(EXPERIMENTS)
+    wanted: set[str] = set()
+    for pattern in patterns:
+        matches = {
+            experiment.id
+            for experiment in EXPERIMENTS
+            if fnmatch.fnmatchcase(experiment.id.upper(), str(pattern).strip().upper())
+        }
+        if not matches:
+            raise ValidationError(
+                f"no experiment matches {pattern!r}; known ids: "
+                + ", ".join(e.id for e in EXPERIMENTS)
+            )
+        wanted |= matches
+    return [experiment for experiment in EXPERIMENTS if experiment.id in wanted]
+
+
+class BenchmarkEngine:
+    """Parallel cached executor for the registered benchmark experiments.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool size per experiment sweep (1 = in-process serial).
+    timeout:
+        Per-configuration wall-clock budget in seconds (None = unlimited).
+    retries:
+        Retry budget per configuration; retried seeds are re-derived
+        deterministically when the bench spec names a ``seed_param``.
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable caching.
+    output_dir:
+        Directory receiving ``BENCH_<id>.json`` manifests, or ``None`` to
+        skip writing.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        timeout: float | None = None,
+        retries: int = 0,
+        cache: ResultCache | None = None,
+        output_dir=None,
+    ) -> None:
+        if workers < 1:
+            raise ValidationError("workers must be >= 1")
+        if retries < 0:
+            raise ValidationError("retries must be >= 0")
+        if timeout is not None and not timeout > 0:
+            raise ValidationError("timeout must be positive when set")
+        self.workers = int(workers)
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.cache = cache
+        self.output_dir = Path(output_dir) if output_dir is not None else None
+
+    def run_experiment(
+        self, experiment: Experiment, spec: BenchSpec | None = None
+    ) -> RunManifest:
+        """Run one experiment's sweep and return its manifest.
+
+        Parameters
+        ----------
+        experiment:
+            The registry entry to run.
+        spec:
+            Explicit :class:`BenchSpec` override; by default the spec is
+            loaded from the experiment's bench module.
+        """
+        started = time.perf_counter()
+        if spec is None:
+            spec = load_bench_spec(experiment)
+        extra = [spec.source] if spec.source else []
+        digest = code_digest(experiment.modules, extra_paths=extra)
+        configurations = expand_grid(spec.grid, spec.fixed)
+
+        records: list[ConfigurationRecord | None] = [None] * len(configurations)
+        keys: list[str | None] = [None] * len(configurations)
+        missing: list[tuple[int, dict]] = []
+        for index, parameters in enumerate(configurations):
+            if self.cache is None:
+                missing.append((index, parameters))
+                continue
+            key = self.cache.key(experiment.id, parameters, digest)
+            keys[index] = key
+            payload = self.cache.get(key)
+            if payload is None:
+                missing.append((index, parameters))
+                continue
+            records[index] = ConfigurationRecord(
+                parameters=dict(payload.get("parameters", parameters)),
+                outputs=dict(payload["outputs"]),
+                seconds=float(payload.get("seconds", 0.0)),
+                worker=payload.get("worker"),
+                retries=int(payload.get("retries", 0)),
+                cache_hit=True,
+            )
+
+        if missing:
+            results = run_configurations(
+                experiment.id,
+                spec.case,
+                [parameters for _, parameters in missing],
+                workers=self.workers,
+                timeout=self.timeout,
+                retries=self.retries,
+                seed_param=spec.seed_param,
+                on_error="record",
+            )
+            for (index, _), result in zip(missing, results):
+                record = ConfigurationRecord(
+                    parameters=result.parameters,
+                    outputs=result.outputs,
+                    seconds=result.seconds,
+                    worker=result.metadata.get("worker"),
+                    retries=result.metadata.get("retries", 0),
+                    cache_hit=False,
+                    error=result.metadata.get("error"),
+                )
+                records[index] = record
+                if self.cache is not None and record.ok:
+                    self.cache.put(
+                        keys[index]
+                        or self.cache.key(
+                            experiment.id, configurations[index], digest
+                        ),
+                        {
+                            "experiment": experiment.id,
+                            "parameters": record.parameters,
+                            "outputs": record.outputs,
+                            "seconds": record.seconds,
+                            "worker": record.worker,
+                            "retries": record.retries,
+                        },
+                    )
+
+        manifest = RunManifest(
+            experiment_id=experiment.id,
+            claim=experiment.claim,
+            bench=experiment.bench,
+            code_digest=digest,
+            workers=self.workers,
+            cache_enabled=self.cache is not None,
+            timeout=self.timeout,
+            retries=self.retries,
+            total_seconds=time.perf_counter() - started,
+            records=[record for record in records if record is not None],
+        )
+        if self.output_dir is not None:
+            manifest.write(self.output_dir)
+        return manifest
+
+    def run(self, experiments: Sequence[Experiment]) -> list[RunManifest]:
+        """Run several experiments in registry order; returns the manifests.
+
+        Parameters
+        ----------
+        experiments:
+            Registry entries, e.g. from :func:`select_experiments`.
+        """
+        return [self.run_experiment(experiment) for experiment in experiments]

@@ -27,6 +27,10 @@ def ascii_curve(
     y = np.asarray(y_values, dtype=float)
     if x.shape != y.shape or x.ndim != 1 or x.size == 0:
         raise ValidationError("x and y must be equal-length nonempty 1-D arrays")
+    if not (np.isfinite(x).all() and np.isfinite(y).all()):
+        # NaN/inf would poison min()/max() (and NaN defeats the `or 1.0`
+        # span fallback, since NaN is truthy) before crashing int(round()).
+        raise ValidationError("x and y must contain only finite values")
     if width < 10 or height < 4:
         raise ValidationError("width must be >= 10 and height >= 4")
 

@@ -1,9 +1,11 @@
-"""Registry of the reproduction's experiments (E1…E12).
+"""Registry of the reproduction's experiments.
 
 One authoritative table mapping experiment ids to the paper claim, the
 implementing modules and the bench file that regenerates the result. The
 CLI prints it; a test asserts it stays in sync with the bench files on
-disk.
+disk. Anything that needs to name the id range (docs, CLI help) should
+derive it via :func:`experiment_span` rather than hard-coding it — a
+hard-coded "E1…E12" went stale once already.
 """
 
 from __future__ import annotations
@@ -127,6 +129,11 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "benchmarks/bench_e16_uniform_vs_pac_bayes.py",
     ),
 )
+
+
+def experiment_span() -> str:
+    """The registry's id range as text (e.g. ``"E1–E16"``), never stale."""
+    return f"{EXPERIMENTS[0].id}–{EXPERIMENTS[-1].id}"
 
 
 def get_experiment(experiment_id: str) -> Experiment:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.exceptions import ValidationError
 
 
@@ -42,6 +44,11 @@ class ResultTable:
 
     @staticmethod
     def _format(value) -> str:
+        if isinstance(value, np.generic):
+            # np.float32 is not a float instance and np.bool_ is not a
+            # bool instance; unwrap so they hit the formatted paths below
+            # instead of falling through to raw str().
+            value = value.item()
         if isinstance(value, bool):
             return "yes" if value else "no"
         if isinstance(value, float):

@@ -1,0 +1,431 @@
+"""Unit tests for the benchmark engine: runner backends, cache, manifests.
+
+The configuration functions below are module-level on purpose — the
+process-pool backend pickles them, so the parallel tests double as a check
+that the public contract ("cases must be module-level") actually suffices.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError, ValidationError
+from repro.experiments import (
+    BENCH_SCHEMA_VERSION,
+    BenchSpec,
+    BenchmarkEngine,
+    EXPERIMENTS,
+    ResultCache,
+    RunManifest,
+    canonical_parameters,
+    code_digest,
+    expand_grid,
+    load_bench_spec,
+    load_manifest,
+    reseed,
+    run_configurations,
+    select_experiments,
+    sweep,
+)
+from repro.experiments.manifest import ConfigurationRecord
+from repro.experiments.registry import Experiment
+
+
+def _affine(x, scale=1, offset=0):
+    return {"y": x * scale + offset}
+
+
+def _echo_seed(x, seed):
+    return {"x": x, "seed": seed}
+
+
+def _fail_on_seed_seven(x, seed):
+    if seed == 7:
+        raise ValueError("unlucky seed")
+    return {"x": x, "seed": seed}
+
+
+def _always_boom(x):
+    raise RuntimeError("boom")
+
+
+def _sleep_forever(x):
+    time.sleep(30)
+    return {"x": x}
+
+
+def _fake_experiment(tmp_path, source_text="case v1\n"):
+    """A registry-shaped experiment whose code digest we fully control."""
+    source = tmp_path / "bench_fake.py"
+    source.write_text(source_text)
+    experiment = Experiment(
+        "TX", "synthetic test experiment", (), "benchmarks/bench_fake.py"
+    )
+    spec = BenchSpec(
+        case=_affine,
+        grid={"x": [1, 2, 3]},
+        fixed={"scale": 10},
+        source=str(source),
+    )
+    return experiment, spec, source
+
+
+class TestReseed:
+    def test_attempt_zero_is_identity(self):
+        assert reseed(42, 0) == 42
+
+    def test_deterministic(self):
+        assert reseed(42, 3) == reseed(42, 3)
+
+    def test_attempts_diverge(self):
+        derived = {reseed(42, attempt) for attempt in range(5)}
+        assert len(derived) == 5
+
+    def test_seeds_diverge(self):
+        assert reseed(1, 1) != reseed(2, 1)
+
+
+class TestExpandGrid:
+    def test_grid_order_is_cartesian_product_order(self):
+        configurations = expand_grid({"a": [1, 2], "b": [10, 20]}, {"c": 5})
+        assert configurations == [
+            {"a": 1, "b": 10, "c": 5},
+            {"a": 1, "b": 20, "c": 5},
+            {"a": 2, "b": 10, "c": 5},
+            {"a": 2, "b": 20, "c": 5},
+        ]
+
+    def test_empty_value_sequence_rejected(self):
+        # Regression: this used to silently produce zero configurations.
+        with pytest.raises(ValidationError, match="non-empty"):
+            expand_grid({"a": [1], "b": []})
+
+    def test_overlap_rejected_before_expansion(self):
+        with pytest.raises(ValidationError, match="swept and fixed"):
+            expand_grid({"a": [1, 2]}, {"a": 3})
+
+
+class TestRunConfigurations:
+    def test_parallel_matches_serial_in_order(self):
+        configurations = expand_grid({"x": list(range(6))}, {"scale": 3})
+        serial = run_configurations("t", _affine, configurations, workers=1)
+        pooled = run_configurations("t", _affine, configurations, workers=3)
+        assert [r.outputs for r in serial] == [r.outputs for r in pooled]
+        assert [r.parameters for r in serial] == [r.parameters for r in pooled]
+        assert [r.outputs["y"] for r in pooled] == [0, 3, 6, 9, 12, 15]
+
+    def test_pooled_records_worker_pids(self):
+        results = run_configurations(
+            "t", _affine, [{"x": 1}, {"x": 2}], workers=2
+        )
+        assert all(isinstance(r.metadata["worker"], int) for r in results)
+
+    def test_empty_configurations(self):
+        assert run_configurations("t", _affine, []) == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"retries": -1},
+            {"timeout": 0},
+            {"on_error": "ignore"},
+        ],
+    )
+    def test_invalid_arguments_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            run_configurations("t", _affine, [{"x": 1}], **kwargs)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_retry_reseeds_seed_param(self, workers):
+        results = run_configurations(
+            "t",
+            _fail_on_seed_seven,
+            [{"x": 5, "seed": 7}],
+            workers=workers,
+            retries=2,
+            seed_param="seed",
+        )
+        (result,) = results
+        assert not result.failed
+        assert result.metadata["retries"] == 1
+        assert result.parameters["seed"] == reseed(7, 1)
+        assert result.outputs["seed"] == reseed(7, 1)
+
+    def test_retry_without_seed_param_replays_parameters(self):
+        with pytest.raises(ExperimentError):
+            # Same seed every attempt -> fails deterministically.
+            run_configurations(
+                "t", _fail_on_seed_seven, [{"x": 5, "seed": 7}], retries=3
+            )
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_on_error_record_keeps_going(self, workers):
+        results = run_configurations(
+            "t",
+            _always_boom,
+            [{"x": 1}, {"x": 2}],
+            workers=workers,
+            on_error="record",
+        )
+        assert len(results) == 2
+        for result in results:
+            assert result.failed
+            assert result.outputs == {}
+            assert "RuntimeError: boom" in result.metadata["error"]
+
+    def test_on_error_raise_wraps_in_experiment_error(self):
+        with pytest.raises(ExperimentError, match="boom"):
+            run_configurations("t", _always_boom, [{"x": 1}])
+
+    def test_timeout_records_failure(self):
+        results = run_configurations(
+            "t",
+            _sleep_forever,
+            [{"x": 1}],
+            workers=1,
+            timeout=0.3,
+            on_error="record",
+        )
+        (result,) = results
+        assert result.failed
+        assert "TimeoutError" in result.metadata["error"]
+
+
+class TestSweep:
+    def test_parallel_sweep_matches_serial(self):
+        grid = {"x": [1, 2, 3, 4]}
+        serial = sweep("t", _affine, grid, scale=2)
+        pooled = sweep("t", _affine, grid, workers=2, scale=2)
+        assert [r.outputs for r in serial] == [r.outputs for r in pooled]
+
+    def test_closures_still_work_serially(self):
+        offset = 100
+        results = sweep("t", lambda x: {"y": x + offset}, {"x": [1, 2]})
+        assert [r.outputs["y"] for r in results] == [101, 102]
+
+    def test_empty_value_sequence_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            sweep("t", _affine, {"x": []})
+
+
+class TestCanonicalParameters:
+    def test_sorted_and_compact(self):
+        assert canonical_parameters({"b": 2, "a": 1}) == '{"a":1,"b":2}'
+
+    def test_numpy_scalars_coerced(self):
+        a = canonical_parameters({"x": np.float64(1.5), "k": np.int64(3)})
+        b = canonical_parameters({"x": 1.5, "k": 3})
+        assert a == b
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ValidationError):
+            canonical_parameters([1, 2])
+
+
+class TestCodeDigest:
+    def test_stable_for_unchanged_sources(self):
+        assert code_digest(["repro.experiments.cache"]) == code_digest(
+            ["repro.experiments.cache"]
+        )
+
+    def test_changes_with_extra_file_content(self, tmp_path):
+        path = tmp_path / "bench.py"
+        path.write_text("v1")
+        before = code_digest([], extra_paths=[path])
+        path.write_text("v2")
+        assert code_digest([], extra_paths=[path]) != before
+
+    def test_different_module_sets_differ(self):
+        assert code_digest(["repro.experiments.cache"]) != code_digest(
+            ["repro.experiments.manifest"]
+        )
+
+    def test_missing_module_tolerated(self):
+        digest = code_digest(["no.such.module.anywhere"])
+        assert len(digest) == 64
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key("E1", {"x": 1}, "d" * 64)
+        assert cache.get(key) is None
+        cache.put(key, {"outputs": {"y": 2.0}, "seconds": 0.1})
+        assert cache.get(key)["outputs"] == {"y": 2.0}
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert cache.get(key) is None
+
+    def test_key_sensitive_to_all_triple_parts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = cache.key("E1", {"x": 1}, "d1")
+        assert cache.key("E2", {"x": 1}, "d1") != base
+        assert cache.key("E1", {"x": 2}, "d1") != base
+        assert cache.key("E1", {"x": 1}, "d2") != base
+        assert cache.key("E1", {"x": np.int64(1)}, "d1") == base
+
+    def test_corrupt_entry_treated_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("E1", {"x": 1}, "d")
+        cache.put(key, {"outputs": {}})
+        (tmp_path / key[:2] / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_payload_without_outputs_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValidationError):
+            cache.put("a" * 64, {"seconds": 1.0})
+
+
+class TestManifest:
+    def _manifest(self):
+        return RunManifest(
+            experiment_id="TX",
+            claim="c",
+            bench="b.py",
+            code_digest="d" * 64,
+            workers=2,
+            cache_enabled=True,
+            records=[
+                ConfigurationRecord({"x": 1}, {"y": 2.0}, 0.5, worker=11),
+                ConfigurationRecord({"x": 2}, {"y": 4.0}, 0.0, cache_hit=True),
+                ConfigurationRecord({"x": 3}, {}, 0.0, error="boom"),
+            ],
+        )
+
+    def test_summary_properties(self):
+        manifest = self._manifest()
+        assert manifest.cache_hits == 1
+        assert manifest.failures == 1
+        assert manifest.executed_seconds == pytest.approx(0.5)
+
+    def test_write_load_round_trip(self, tmp_path):
+        manifest = self._manifest()
+        path = manifest.write(tmp_path)
+        assert path.name == "BENCH_TX.json"
+        loaded = load_manifest(path)
+        assert loaded.to_dict() == manifest.to_dict()
+
+    def test_schema_version_stamped(self, tmp_path):
+        path = self._manifest().write(tmp_path)
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["summary"]["configurations"] == 3
+
+    def test_unknown_schema_version_rejected(self):
+        payload = self._manifest().to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(ValidationError, match="schema version"):
+            RunManifest.from_dict(payload)
+
+    def test_record_missing_keys_rejected(self):
+        with pytest.raises(ValidationError, match="missing keys"):
+            ConfigurationRecord.from_dict({"parameters": {}, "outputs": {}})
+
+
+class TestBenchmarkEngine:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        experiment, spec, _ = _fake_experiment(tmp_path)
+        cache = ResultCache(tmp_path / "cache")
+        engine = BenchmarkEngine(cache=cache, output_dir=tmp_path / "out")
+        first = engine.run_experiment(experiment, spec=spec)
+        assert first.cache_hits == 0
+        assert first.failures == 0
+        second = engine.run_experiment(experiment, spec=spec)
+        assert second.cache_hits == len(second.records) == 3
+        assert [r.outputs for r in first.records] == [
+            r.outputs for r in second.records
+        ]
+
+    def test_code_change_invalidates_cache(self, tmp_path):
+        experiment, spec, source = _fake_experiment(tmp_path)
+        cache = ResultCache(tmp_path / "cache")
+        engine = BenchmarkEngine(cache=cache)
+        first = engine.run_experiment(experiment, spec=spec)
+        source.write_text("case v2\n")
+        second = engine.run_experiment(experiment, spec=spec)
+        assert second.cache_hits == 0
+        assert second.code_digest != first.code_digest
+
+    def test_parallel_engine_matches_serial(self, tmp_path):
+        experiment, spec, _ = _fake_experiment(tmp_path)
+        serial = BenchmarkEngine(workers=1).run_experiment(experiment, spec=spec)
+        pooled = BenchmarkEngine(workers=2).run_experiment(experiment, spec=spec)
+        assert [r.outputs for r in serial.records] == [
+            r.outputs for r in pooled.records
+        ]
+        assert [r.outputs["y"] for r in pooled.records] == [10, 20, 30]
+
+    def test_failures_recorded_and_not_cached(self, tmp_path):
+        experiment, spec, _ = _fake_experiment(tmp_path)
+        spec = BenchSpec(
+            case=_always_boom,
+            grid=spec.grid,
+            source=spec.source,
+        )
+        cache = ResultCache(tmp_path / "cache")
+        engine = BenchmarkEngine(cache=cache, output_dir=tmp_path / "out")
+        manifest = engine.run_experiment(experiment, spec=spec)
+        assert manifest.failures == 3
+        assert len(cache) == 0
+        # The manifest is still written, with the errors on record.
+        loaded = load_manifest(tmp_path / "out" / "BENCH_TX.json")
+        assert all("boom" in record.error for record in loaded.records)
+
+    def test_manifest_metadata(self, tmp_path):
+        experiment, spec, _ = _fake_experiment(tmp_path)
+        manifest = BenchmarkEngine().run_experiment(experiment, spec=spec)
+        assert manifest.experiment_id == "TX"
+        assert manifest.cache_enabled is False
+        assert manifest.total_seconds > 0
+        assert all(record.seconds >= 0 for record in manifest.records)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"workers": 0}, {"retries": -1}, {"timeout": 0}]
+    )
+    def test_invalid_engine_arguments(self, kwargs):
+        with pytest.raises(ValidationError):
+            BenchmarkEngine(**kwargs)
+
+
+class TestSelectExperiments:
+    def test_default_is_full_registry(self):
+        assert select_experiments() == list(EXPERIMENTS)
+
+    def test_glob_selects_range(self):
+        selected = select_experiments(["E1?"])
+        assert [e.id for e in selected] == [
+            "E10", "E11", "E12", "E13", "E14", "E15", "E16",
+        ]
+
+    def test_case_insensitive_id(self):
+        assert [e.id for e in select_experiments(["e4"])] == ["E4"]
+
+    def test_registry_order_preserved(self):
+        selected = select_experiments(["E9", "E2"])
+        assert [e.id for e in selected] == ["E2", "E9"]
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValidationError, match="no experiment matches"):
+            select_experiments(["E99"])
+
+
+class TestRegisteredBenchSpecs:
+    @pytest.mark.parametrize("experiment", EXPERIMENTS, ids=lambda e: e.id)
+    def test_every_experiment_has_a_valid_spec(self, experiment):
+        spec = load_bench_spec(experiment)
+        # The case must survive pickling for the process-pool backend.
+        assert pickle.loads(pickle.dumps(spec.case)) is spec.case
+        configurations = expand_grid(spec.grid, spec.fixed)
+        assert configurations
+        if spec.seed_param is not None:
+            assert all(spec.seed_param in c for c in configurations)
+        assert spec.source and spec.source.endswith(
+            experiment.bench.rsplit("/", 1)[-1]
+        )

@@ -1,7 +1,8 @@
-"""End-to-end exit-code contracts for ``repro lint`` and ``repro audit``.
+"""End-to-end exit-code contracts for ``repro lint``/``audit``/``bench``.
 
-Both subcommands share one contract, enforced here through ``main()`` and
-through a real ``python -m repro`` subprocess (the code CI actually sees):
+All three subcommands share one contract, enforced here through ``main()``
+and through a real ``python -m repro`` subprocess (the code CI actually
+sees):
 
 * 0 — clean: no findings / every audited claim holds;
 * 1 — findings: lint violations or a certified ε violation;
@@ -141,3 +142,67 @@ class TestAuditExitCodes:
         assert broken.returncode == 1, broken.stderr
         usage = _run_module("audit", "frobnicate")
         assert usage.returncode == 2
+
+
+class TestBenchExitCodes:
+    def _dirs(self, tmp_path):
+        return [
+            "--output-dir", str(tmp_path / "out"),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+
+    def test_clean_run_exits_zero_and_writes_manifest(self, capsys, tmp_path):
+        # E14 is the cheapest registered bench (pure accounting, no RNG).
+        code = main(["bench", "E14", *self._dirs(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bench OK" in out
+        manifest = json.loads((tmp_path / "out" / "BENCH_E14.json").read_text())
+        assert manifest["experiment"] == "E14"
+        assert manifest["summary"]["failures"] == 0
+        assert all(
+            c["seconds"] >= 0 for c in manifest["configurations"]
+        )
+
+    def test_second_run_hits_cache(self, capsys, tmp_path):
+        argv = ["bench", "E14", *self._dirs(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        manifest = json.loads((tmp_path / "out" / "BENCH_E14.json").read_text())
+        hits = manifest["summary"]["cache_hits"]
+        assert hits == manifest["summary"]["configurations"]
+        assert f"{hits} cache hits" in out
+
+    def test_unknown_pattern_exits_two(self, capsys, tmp_path):
+        code = main(["bench", "E99", *self._dirs(tmp_path)])
+        assert code == 2
+        assert "no experiment matches" in capsys.readouterr().err
+
+    def test_bad_workers_exit_two(self, capsys, tmp_path):
+        code = main(["bench", "E14", "--workers", "0", *self._dirs(tmp_path)])
+        assert code == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_list_exits_zero_without_running(self, capsys, tmp_path):
+        code = main(["bench", "E1?", "--list", *self._dirs(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E10" in out and "E16" in out
+        assert not (tmp_path / "out").exists()
+
+    def test_json_report_round_trips(self, capsys, tmp_path):
+        code = main(
+            ["bench", "E14", "--json", "--no-cache", *self._dirs(tmp_path)]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["cache"] is False
+        assert payload["failures"] == 0
+        assert payload["manifests"][0]["experiment"] == "E14"
+
+    def test_subprocess_clean_run(self, tmp_path):
+        result = _run_module("bench", "E14", *self._dirs(tmp_path))
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "out" / "BENCH_E14.json").exists()

@@ -1,5 +1,6 @@
 """Unit tests for the experiment harness."""
 
+import numpy as np
 import pytest
 
 from repro.exceptions import ValidationError
@@ -52,6 +53,18 @@ class TestResultTable:
         with pytest.raises(ValidationError):
             table.column("z")
 
+    def test_numpy_scalars_format_like_python_scalars(self):
+        # Regression: np.float32 is not a float instance and np.bool_ is
+        # not a bool instance, so both used to fall through to repr.
+        table = ResultTable(["f32", "f64", "i64", "ok"])
+        table.add_row(
+            np.float32(0.5), np.float64(1.5), np.int64(7), np.bool_(True)
+        )
+        assert table.column("f32") == ["0.5000"]
+        assert table.column("f64") == ["1.5000"]
+        assert table.column("i64") == ["7"]
+        assert table.column("ok") == ["yes"]
+
 
 class TestAsciiCurve:
     def test_contains_points_and_labels(self):
@@ -73,6 +86,15 @@ class TestAsciiCurve:
     def test_rejects_tiny_canvas(self):
         with pytest.raises(ValidationError):
             ascii_curve([1, 2], [1, 2], width=2)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite_values(self, bad):
+        # Regression: NaN/inf used to crash deep inside the scaler with
+        # an unhelpful numpy error instead of a ValidationError.
+        with pytest.raises(ValidationError, match="finite"):
+            ascii_curve([1, 2, 3], [1, bad, 3])
+        with pytest.raises(ValidationError, match="finite"):
+            ascii_curve([1, bad, 3], [1, 2, 3])
 
 
 class TestRunner:

@@ -69,6 +69,7 @@ class DocstringParametersRule(Rule):
             "privacy",
             "analysis",
             "testing",
+            "observability",
         ),
         # Parameters section required from this many documentable params.
         "min_params": 2,

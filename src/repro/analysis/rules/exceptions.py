@@ -52,6 +52,7 @@ class NoSilentExceptRule(Rule):
             "private_learning",
             "analysis",
             "testing",
+            "observability",
         ),
     }
 

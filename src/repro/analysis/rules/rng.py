@@ -46,6 +46,7 @@ class RngDisciplineRule(Rule):
             "information",
             "learning",
             "testing",
+            "observability",
         ),
         # Files allowed to touch numpy.random directly: the single
         # sanctioned Generator factory.

@@ -37,7 +37,14 @@ class NoNaiveSamplingRule(Rule):
     )
     default_severity = Severity.ERROR
     default_options = {
-        "packages": ("mechanisms", "private_learning", "privacy", "core", "testing"),
+        "packages": (
+            "mechanisms",
+            "private_learning",
+            "privacy",
+            "core",
+            "testing",
+            "observability",
+        ),
         # RNG method names whose direct use is reserved to the sanctioned
         # sampler modules.
         "methods": (

@@ -61,6 +61,7 @@ class ValidatePrivacyParamsRule(Rule):
             "private_learning",
             "privacy",
             "testing",
+            "observability",
         ),
         "param_names": ("epsilon", "delta", "sensitivity"),
         # Call targets (matched on the final dotted segment) that count as

@@ -25,6 +25,15 @@ Commands
 ``lint``
     Run dplint, the bundled static analyzer for differential-privacy
     invariants, over the source tree.
+``trace``
+    Validate and pretty-print a trace JSON document written by
+    ``bench``/``audit`` ``--trace-json`` (span tree, counters, and the
+    privacy-ledger composition totals). Exit code 0 on a well-formed
+    trace, 2 on a missing or malformed one.
+
+``bench`` and ``audit`` accept ``--trace`` (print a trace summary to
+stderr when done) and ``--trace-json PATH`` (write the full
+schema-versioned trace document); see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -114,6 +123,7 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="list_experiments",
         help="print the experiments the selection resolves to and exit",
     )
+    _add_trace_flags(bench)
 
     audit = sub.add_parser(
         "audit",
@@ -150,6 +160,15 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="list_families",
         help="print the audit-family registry and exit",
     )
+    _add_trace_flags(audit)
+
+    trace = sub.add_parser(
+        "trace",
+        help="validate and pretty-print a trace JSON document written "
+        "by bench/audit --trace-json",
+    )
+    trace.add_argument("path", help="path to a trace JSON document")
+    trace.add_argument("--format", choices=("text", "json"), default="text")
 
     tradeoff = sub.add_parser(
         "tradeoff", help="print the Theorem 4.2 frontier"
@@ -193,6 +212,56 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_trace_flags(subparser) -> None:
+    """Attach the shared ``--trace`` / ``--trace-json`` observability flags.
+
+    Parameters
+    ----------
+    subparser:
+        The ``bench`` or ``audit`` argparse subparser.
+    """
+    subparser.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect a trace (spans, counters, privacy ledger) and print "
+        "its summary to stderr when the command finishes",
+    )
+    subparser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="collect a trace and write the full JSON document to PATH "
+        "(inspect it with `repro trace PATH`)",
+    )
+
+
+def _with_tracing(args, name: str, body) -> int:
+    """Run ``body()`` under a tracer when the trace flags ask for one.
+
+    Parameters
+    ----------
+    args:
+        Parsed CLI arguments carrying ``trace`` / ``trace_json``.
+    name:
+        Tracer name stored on the exported document.
+    body:
+        Zero-argument callable returning the command's exit code.
+    """
+    if not (args.trace or args.trace_json):
+        return body()
+    from repro.observability import ConsoleSink, FileSink, Tracer, tracing
+
+    tracer = Tracer(name)
+    with tracing(tracer):
+        code = body()
+    if args.trace:
+        ConsoleSink().emit(tracer)
+    if args.trace_json:
+        path = FileSink(args.trace_json).emit(tracer)
+        print(f"trace written to {path}", file=sys.stderr)
+    return code
+
+
 def _cmd_experiments(args) -> int:
     from repro.experiments import ResultTable
     from repro.experiments.registry import EXPERIMENTS
@@ -205,6 +274,10 @@ def _cmd_experiments(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    return _with_tracing(args, "repro bench", lambda: _bench_body(args))
+
+
+def _bench_body(args) -> int:
     import json
 
     from repro.exceptions import ValidationError
@@ -279,6 +352,10 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_audit(args) -> int:
+    return _with_tracing(args, "repro audit", lambda: _audit_body(args))
+
+
+def _audit_body(args) -> int:
     import json
 
     from repro.exceptions import ValidationError
@@ -437,10 +514,29 @@ def _cmd_lint(args) -> int:
     return execute(args)
 
 
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.exceptions import ValidationError
+    from repro.observability import load_trace, render_trace
+
+    try:
+        payload = load_trace(args.path)
+    except ValidationError as error:
+        print(f"trace: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_trace(payload))
+    return 0
+
+
 _COMMANDS = {
     "experiments": _cmd_experiments,
     "bench": _cmd_bench,
     "audit": _cmd_audit,
+    "trace": _cmd_trace,
     "tradeoff": _cmd_tradeoff,
     "release": _cmd_release,
     "lint": _cmd_lint,

@@ -33,20 +33,44 @@ from repro.exceptions import ValidationError
 from repro.learning.erm import PredictorGrid
 from repro.mechanisms.base import Mechanism, PrivacySpec
 from repro.mechanisms.sensitivity import empirical_risk_sensitivity
+from repro.observability import tracer as _trace
+from repro.observability.events import CalibrationEvent
 from repro.utils.numerics import logsumexp
 from repro.utils.validation import check_positive, check_random_state
+
+
+def _record_calibration(
+    label: str, epsilon: float, temperature: float, loss_range: float, n: int
+) -> None:
+    """Emit a :class:`CalibrationEvent` when tracing is active."""
+    tracer = _trace.current()
+    if tracer is not None:
+        tracer.record(
+            CalibrationEvent(
+                label=label,
+                epsilon=epsilon,
+                temperature=temperature,
+                loss_range=float(loss_range),
+                n=int(n),
+            )
+        )
+        tracer.count("gibbs.calibrations")
 
 
 def privacy_of_temperature(temperature: float, loss_range: float, n: int) -> float:
     """Theorem 4.1's guarantee: ``ε = 2·λ·Δ(R̂) = 2·λ·loss_range / n``."""
     temperature = check_positive(temperature, name="temperature")
-    return 2.0 * temperature * empirical_risk_sensitivity(loss_range, n)
+    epsilon = 2.0 * temperature * empirical_risk_sensitivity(loss_range, n)
+    _record_calibration("privacy_of_temperature", epsilon, temperature, loss_range, n)
+    return epsilon
 
 
 def temperature_for_privacy(epsilon: float, loss_range: float, n: int) -> float:
     """Inverse calibration: temperature ``λ = ε·n / (2·loss_range)``."""
     epsilon = check_positive(epsilon, name="epsilon")
-    return epsilon / (2.0 * empirical_risk_sensitivity(loss_range, n))
+    temperature = epsilon / (2.0 * empirical_risk_sensitivity(loss_range, n))
+    _record_calibration("temperature_for_privacy", epsilon, temperature, loss_range, n)
+    return temperature
 
 
 class GibbsPosterior:

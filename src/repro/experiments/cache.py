@@ -25,6 +25,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.observability import tracer as _trace
 
 __all__ = ["ResultCache", "canonical_parameters", "code_digest"]
 
@@ -147,13 +148,20 @@ class ResultCache:
     def get(self, key: str) -> dict | None:
         """The stored payload for ``key``, or ``None`` on miss/corruption."""
         path = self._path(key)
+        tracer = _trace.current()
         try:
             with path.open(encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, json.JSONDecodeError):
+            if tracer is not None:
+                tracer.count("cache.misses")
             return None  # miss, or a torn entry: treat as absent and re-run
         if not isinstance(payload, dict) or "outputs" not in payload:
+            if tracer is not None:
+                tracer.count("cache.misses")
             return None
+        if tracer is not None:
+            tracer.count("cache.hits")
         return payload
 
     def put(self, key: str, payload: Mapping) -> None:
@@ -176,6 +184,9 @@ class ResultCache:
             encoding="utf-8",
         )
         tmp.replace(path)
+        tracer = _trace.current()
+        if tracer is not None:
+            tracer.count("cache.writes")
 
     def __len__(self) -> int:
         if not self.root.is_dir():

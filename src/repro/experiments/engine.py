@@ -23,6 +23,7 @@ from pathlib import Path
 
 from repro.exceptions import ValidationError
 from repro.experiments.cache import ResultCache, code_digest
+from repro.observability import tracer as _trace
 from repro.experiments.manifest import ConfigurationRecord, RunManifest
 from repro.experiments.registry import EXPERIMENTS, Experiment
 from repro.experiments.runner import expand_grid, run_configurations
@@ -192,6 +193,13 @@ class BenchmarkEngine:
             Explicit :class:`BenchSpec` override; by default the spec is
             loaded from the experiment's bench module.
         """
+        with _trace.span(f"experiment:{experiment.id}", workers=self.workers):
+            return self._run_experiment(experiment, spec)
+
+    def _run_experiment(
+        self, experiment: Experiment, spec: BenchSpec | None
+    ) -> RunManifest:
+        """The sweep body of :meth:`run_experiment` (span applied outside)."""
         started = time.perf_counter()
         if spec is None:
             spec = load_bench_spec(experiment)
@@ -241,6 +249,7 @@ class BenchmarkEngine:
                     retries=result.metadata.get("retries", 0),
                     cache_hit=False,
                     error=result.metadata.get("error"),
+                    trace=result.metadata.get("trace"),
                 )
                 records[index] = record
                 if self.cache is not None and record.ok:

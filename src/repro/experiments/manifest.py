@@ -25,6 +25,11 @@ Schema (version 1)::
         ...
       ]
     }
+
+A configuration record may additionally carry an OPTIONAL ``"trace"`` key
+(still schema version 1; absent unless the run executed serially under an
+active tracer): a small summary dict of the ledger events, spans, and
+mechanism releases attributable to that configuration alone.
 """
 
 from __future__ import annotations
@@ -60,6 +65,7 @@ class ConfigurationRecord:
     retries: int = 0
     cache_hit: bool = False
     error: str | None = None
+    trace: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -67,8 +73,12 @@ class ConfigurationRecord:
         return self.error is None
 
     def to_dict(self) -> dict:
-        """The record as a JSON-serializable dict (schema order)."""
-        return {
+        """The record as a JSON-serializable dict (schema order).
+
+        The optional ``trace`` summary is serialized only when present, so
+        untraced manifests are byte-identical to pre-observability ones.
+        """
+        payload = {
             "parameters": dict(self.parameters),
             "outputs": dict(self.outputs),
             "seconds": float(self.seconds),
@@ -77,6 +87,9 @@ class ConfigurationRecord:
             "cache_hit": bool(self.cache_hit),
             "error": self.error,
         }
+        if self.trace is not None:
+            payload["trace"] = dict(self.trace)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ConfigurationRecord":
@@ -85,7 +98,7 @@ class ConfigurationRecord:
         Parameters
         ----------
         payload:
-            Dict with exactly the schema's record keys.
+            Dict with the schema's record keys (``trace`` optional).
         """
         if not isinstance(payload, dict) or not _RECORD_KEYS <= set(payload):
             missing = sorted(_RECORD_KEYS - set(payload or ()))
@@ -98,6 +111,7 @@ class ConfigurationRecord:
             retries=int(payload["retries"]),
             cache_hit=bool(payload["cache_hit"]),
             error=payload["error"],
+            trace=payload.get("trace"),
         )
 
 

@@ -22,6 +22,7 @@ from concurrent.futures import TimeoutError as _FutureTimeoutError
 from dataclasses import dataclass, field
 
 from repro.exceptions import ExperimentError, ValidationError
+from repro.observability import tracer as _trace
 
 __all__ = [
     "ExperimentResult",
@@ -86,13 +87,16 @@ def run_experiment(
     fn:
         Experiment function; must return a mapping of outputs.
     """
-    outputs, seconds, worker = _invoke(fn, parameters)
+    outputs, seconds, worker, trace = _traced_invoke(name, fn, parameters)
+    metadata = {"worker": worker, "retries": 0}
+    if trace is not None:
+        metadata["trace"] = trace
     return ExperimentResult(
         name=name,
         parameters=dict(parameters),
         outputs=outputs,
         seconds=seconds,
-        metadata={"worker": worker, "retries": 0},
+        metadata=metadata,
     )
 
 
@@ -165,6 +169,34 @@ def _failure(
     )
 
 
+def _traced_invoke(
+    name: str, fn: Callable[..., Mapping], parameters: Mapping
+) -> tuple:
+    """``_invoke`` under a per-configuration span with a trace delta.
+
+    Returns ``(outputs, seconds, worker, trace_summary)`` where the last
+    element is ``None`` when tracing is disabled, else a small dict of the
+    ledger events, spans, and mechanism releases this configuration alone
+    produced (computed as before/after deltas on the active tracer).
+    """
+    tracer = _trace.current()
+    if tracer is None:
+        return (*_invoke(fn, parameters), None)
+    events_before = len(tracer.events)
+    spans_before = len(tracer.spans)
+    releases_before = tracer.metrics.counter("mechanism.releases")
+    with tracer.span(f"config:{name}"):
+        outputs, seconds, worker = _invoke(fn, parameters)
+    summary = {
+        "seconds": seconds,
+        "ledger_events": len(tracer.events) - events_before,
+        "spans": len(tracer.spans) - spans_before - 1,  # minus our own
+        "mechanism_releases": tracer.metrics.counter("mechanism.releases")
+        - releases_before,
+    }
+    return outputs, seconds, worker, summary
+
+
 def _run_serial(
     name: str,
     fn: Callable[..., Mapping],
@@ -180,7 +212,9 @@ def _run_serial(
         while True:
             parameters = _reseeded(original, seed_param, attempt)
             try:
-                outputs, seconds, worker = _invoke(fn, parameters)
+                outputs, seconds, worker, trace = _traced_invoke(
+                    name, fn, parameters
+                )
             except Exception as error:
                 if attempt < retries:
                     attempt += 1
@@ -192,13 +226,16 @@ def _run_serial(
                     ) from error
                 results.append(_failure(name, parameters, attempt, error))
                 break
+            metadata = {"worker": worker, "retries": attempt}
+            if trace is not None:
+                metadata["trace"] = trace
             results.append(
                 ExperimentResult(
                     name=name,
                     parameters=dict(parameters),
                     outputs=outputs,
                     seconds=seconds,
-                    metadata={"worker": worker, "retries": attempt},
+                    metadata=metadata,
                 )
             )
             break
@@ -311,6 +348,14 @@ def run_configurations(
         :class:`~repro.exceptions.ExperimentError`; ``"record"`` returns a
         result with empty outputs and the error message in
         ``metadata["error"]`` and keeps going.
+
+    Notes
+    -----
+    When a tracer is active (:mod:`repro.observability`) the in-process
+    serial backend records a per-configuration span and a trace summary in
+    ``metadata["trace"]``. Pooled workers are separate processes that
+    cannot report into the parent's tracer, so pooled results carry no
+    trace summary — by design, rather than silently-empty numbers.
     """
     if workers < 1:
         raise ValidationError("workers must be >= 1")

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.exceptions import ConvergenceError, ValidationError
 from repro.information.mutual_information import mutual_information_from_joint
+from repro.observability import tracer as _trace
 from repro.utils.numerics import logsumexp, stable_log
 from repro.utils.validation import check_positive, check_probability_vector
 
@@ -50,6 +51,16 @@ class BlahutArimotoResult:
         Iterations executed.
     converged:
         Whether the stopping tolerance was reached within the budget.
+        False both when the iteration budget ran out *and* when the
+        objective moved the wrong way (see ``monotone``).
+    final_gap:
+        The last objective decrement observed (capacity: the certified
+        upper−lower bound gap). Negative means the objective *increased*
+        on the final step — float noise near a degenerate fixed point.
+    monotone:
+        Whether every observed step decreased the objective (capacity:
+        always True). A non-monotone run terminated on a beyond-tolerance
+        increase and is reported ``converged=False``.
     """
 
     value: float
@@ -60,6 +71,8 @@ class BlahutArimotoResult:
     distortion: float
     iterations: int
     converged: bool
+    final_gap: float = 0.0
+    monotone: bool = True
 
 
 def channel_capacity(
@@ -89,6 +102,7 @@ def channel_capacity(
     p = np.full(n_inputs, 1.0 / n_inputs)
     converged = False
     iterations = 0
+    gap = np.inf
     for iterations in range(1, max_iterations + 1):
         output = p @ matrix
         log_output = stable_log(output)
@@ -99,11 +113,16 @@ def channel_capacity(
         divergences = contrib.sum(axis=1)
         upper = float(divergences.max())
         lower = float(p @ divergences)
-        if upper - lower < tol:
+        gap = upper - lower
+        if gap < tol:
             converged = True
             break
         log_p = stable_log(p) + divergences
         p = np.exp(log_p - logsumexp(log_p))
+
+    tracer = _trace.current()
+    if tracer is not None:
+        tracer.observe("blahut_arimoto.iterations", iterations)
 
     joint = p[:, None] * matrix
     rate = mutual_information_from_joint(joint)
@@ -116,6 +135,8 @@ def channel_capacity(
         distortion=0.0,
         iterations=iterations,
         converged=converged,
+        final_gap=gap,
+        monotone=True,
     )
 
 
@@ -182,7 +203,9 @@ def rate_distortion(
 
     previous_value = np.inf
     converged = False
+    monotone = True
     iterations = 0
+    gap = np.inf
     channel = np.empty_like(d)
     for iterations in range(1, max_iterations + 1):
         # Half-step 1: optimal channel for the current output marginal.
@@ -196,16 +219,30 @@ def rate_distortion(
         rate = mutual_information_from_joint(joint)
         distortion = float((joint * d).sum())
         value = rate + beta * distortion
-        if previous_value - value < tol:
+        gap = previous_value - value if np.isfinite(previous_value) else np.inf
+        if gap < -tol:
+            # The objective went UP by more than the tolerance. Each exact
+            # half-step cannot increase the Lagrangian, so this is float
+            # noise near a (near-)degenerate fixed point — not a certified
+            # fixed point. Stop, but do not claim convergence.
+            monotone = False
+            break
+        if gap < tol:
             converged = True
-            previous_value = value
             break
         previous_value = value
 
+    tracer = _trace.current()
+    if tracer is not None:
+        tracer.observe("blahut_arimoto.iterations", iterations)
+
     if not converged and raise_on_failure:
-        raise ConvergenceError(
-            f"rate_distortion did not converge in {max_iterations} iterations"
+        reason = (
+            f"objective increased by {-gap:.3e} at iteration {iterations}"
+            if not monotone
+            else f"did not converge in {max_iterations} iterations"
         )
+        raise ConvergenceError(f"rate_distortion: {reason}")
 
     joint = p[:, None] * channel
     rate = mutual_information_from_joint(joint)
@@ -219,6 +256,8 @@ def rate_distortion(
         distortion=distortion,
         iterations=iterations,
         converged=converged,
+        final_gap=float(gap) if np.isfinite(gap) else float("inf"),
+        monotone=monotone,
     )
 
 

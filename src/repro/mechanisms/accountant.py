@@ -4,6 +4,14 @@ Tracks cumulative (ε, δ) spend under basic composition and refuses releases
 that would exceed the configured budget — the bookkeeping a deployment of
 the paper's Gibbs estimator would need when answering repeated learning
 queries against one dataset.
+
+The composed total is maintained *incrementally*: each ``charge`` folds the
+new spec into a running :class:`PrivacySpec`, so reading ``spent`` (and
+therefore ``can_afford``/``charge``) is O(1) per release instead of
+re-folding the whole ledger — O(n²) over a run of n releases — as the
+original implementation did. Every charge and every refusal also emits a
+typed event on the active privacy ledger (:mod:`repro.observability`), so
+an exported trace reconstructs the accountant's spend exactly.
 """
 
 from __future__ import annotations
@@ -12,6 +20,18 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import PrivacyBudgetError, ValidationError
 from repro.mechanisms.base import Mechanism, PrivacySpec
+from repro.observability import tracer as _trace
+from repro.observability.events import BudgetChargeEvent, BudgetRefusalEvent
+
+#: Relative slack on budget comparisons, as a fraction of the budget
+#: itself. A *flat* tolerance (the previous ``1e-12``) is wrong at both
+#: ends of the scale: for tiny budgets it admits overshoot worth many
+#: percent of the total ε, and it silently grows the budget of every
+#: accountant by an absolute constant. Relative slack keeps the guarantee
+#: ``total spend ≤ budget · (1 + 1e-12)`` no matter how many tiny charges
+#: are composed, because the slack is only ever applied to the *remaining*
+#: budget comparison, never accumulated per charge.
+BUDGET_RTOL = 1e-12
 
 
 @dataclass
@@ -34,49 +54,73 @@ class PrivacyAccountant:
 
     budget: PrivacySpec
     _ledger: list[LedgerEntry] = field(default_factory=list)
+    _spent: PrivacySpec | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.budget, PrivacySpec):
             raise ValidationError("budget must be a PrivacySpec")
+        # A ledger handed to the constructor is folded once, here; from
+        # then on the running total is maintained incrementally by charge.
+        for entry in self._ledger:
+            self._spent = (
+                entry.spec if self._spent is None else self._spent.compose(entry.spec)
+            )
 
     @property
     def spent(self) -> PrivacySpec | None:
         """Total spend so far (None when nothing is recorded)."""
-        if not self._ledger:
-            return None
-        total = self._ledger[0].spec
-        for entry in self._ledger[1:]:
-            total = total.compose(entry.spec)
-        return total
+        return self._spent
 
     @property
     def remaining_epsilon(self) -> float:
         """Unspent ε under basic composition."""
-        spent = self.spent
-        return self.budget.epsilon - (spent.epsilon if spent else 0.0)
+        return self.budget.epsilon - (self._spent.epsilon if self._spent else 0.0)
 
     @property
     def remaining_delta(self) -> float:
         """Unspent δ under basic composition."""
-        spent = self.spent
-        return self.budget.delta - (spent.delta if spent else 0.0)
+        return self.budget.delta - (self._spent.delta if self._spent else 0.0)
 
     def can_afford(self, spec: PrivacySpec) -> bool:
         """Whether a further release with ``spec`` stays within budget."""
-        tol = 1e-12
         return (
-            spec.epsilon <= self.remaining_epsilon + tol
-            and spec.delta <= self.remaining_delta + tol
+            spec.epsilon <= self.remaining_epsilon + BUDGET_RTOL * self.budget.epsilon
+            and spec.delta <= self.remaining_delta + BUDGET_RTOL * self.budget.delta
         )
 
     def charge(self, spec: PrivacySpec, *, label: str = "release") -> None:
         """Record an expenditure, or raise :class:`PrivacyBudgetError`."""
         if not self.can_afford(spec):
+            tracer = _trace.current()
+            if tracer is not None:
+                tracer.record(
+                    BudgetRefusalEvent(
+                        label=label,
+                        epsilon=spec.epsilon,
+                        delta=spec.delta,
+                        remaining_epsilon=self.remaining_epsilon,
+                        remaining_delta=self.remaining_delta,
+                    )
+                )
+                tracer.count("accountant.refusals")
             raise PrivacyBudgetError(
                 f"cannot afford {spec}: remaining budget is "
                 f"(ε={self.remaining_epsilon:.6g}, δ={self.remaining_delta:.3g})"
             )
         self._ledger.append(LedgerEntry(label=label, spec=spec))
+        self._spent = spec if self._spent is None else self._spent.compose(spec)
+        tracer = _trace.current()
+        if tracer is not None:
+            tracer.record(
+                BudgetChargeEvent(
+                    label=label,
+                    epsilon=spec.epsilon,
+                    delta=spec.delta,
+                    remaining_epsilon=self.remaining_epsilon,
+                    remaining_delta=self.remaining_delta,
+                )
+            )
+            tracer.count("accountant.charges")
 
     def run(self, mechanism: Mechanism, dataset, *, label: str | None = None,
             random_state=None):

@@ -10,9 +10,12 @@ read guarantees off the object rather than trusting call sites.
 from __future__ import annotations
 
 import abc
+import functools
 from dataclasses import dataclass
 
 from repro.exceptions import ValidationError
+from repro.observability import tracer as _trace
+from repro.observability.events import MechanismReleaseEvent
 from repro.utils.validation import check_in_range, check_positive
 
 
@@ -46,6 +49,43 @@ class PrivacySpec:
         return f"({self.epsilon:.6g}, {self.delta:.3g})-DP"
 
 
+def _traced_release(release):
+    """Wrap a subclass ``release`` with the observability hook.
+
+    The wrapper is transparent when tracing is disabled (one module-level
+    read and a ``None`` check before delegating, and the caller-provided
+    ``random_state`` flows through untouched, so RNG streams — and hence
+    outputs — are bit-identical with tracing on or off). When a tracer is
+    active it times the release in a span, appends a
+    :class:`~repro.observability.events.MechanismReleaseEvent` carrying
+    the mechanism's :class:`PrivacySpec`, and bumps the
+    ``mechanism.releases`` counter.
+    """
+
+    @functools.wraps(release)
+    def traced(self, *args, **kwargs):
+        tracer = _trace.current()
+        if tracer is None:
+            return release(self, *args, **kwargs)
+        mechanism = type(self).__name__
+        with tracer.span(f"release:{mechanism}", mechanism=mechanism):
+            result = release(self, *args, **kwargs)
+        spec = self.privacy
+        tracer.record(
+            MechanismReleaseEvent(
+                label=mechanism,
+                epsilon=spec.epsilon,
+                delta=spec.delta,
+                mechanism=mechanism,
+            )
+        )
+        tracer.count("mechanism.releases")
+        return result
+
+    traced._dp_traced = True
+    return traced
+
+
 class Mechanism(abc.ABC):
     """A randomized function of a dataset with a declared privacy guarantee.
 
@@ -53,7 +93,25 @@ class Mechanism(abc.ABC):
     dataset). The base class stores the nominal :class:`PrivacySpec`;
     auditors in :mod:`repro.privacy` measure whether the implementation
     actually honours it.
+
+    Every concrete ``release`` is wrapped at class-creation time with the
+    observability hook (see :mod:`repro.observability`): all mechanism
+    families emit release spans, ledger events, and counters without any
+    per-subclass instrumentation, and without touching their math or RNG
+    streams. With no active tracer the hook is a near-free no-op.
     """
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Install the tracing wrapper around a subclass's ``release``."""
+        super().__init_subclass__(**kwargs)
+        release = cls.__dict__.get("release")
+        if (
+            release is not None
+            and callable(release)
+            and not getattr(release, "__isabstractmethod__", False)
+            and not getattr(release, "_dp_traced", False)
+        ):
+            cls.release = _traced_release(release)
 
     def __init__(self, privacy: PrivacySpec) -> None:
         if not isinstance(privacy, PrivacySpec):

@@ -1,0 +1,73 @@
+"""Observability: spans, metrics, and the privacy-ledger event stream.
+
+The paper's stance — a DP learner is an information channel whose ε is a
+measured quantity — implies the budget flow should be *observable*, not
+just declared. This package is the cross-cutting layer that records it:
+
+* **Spans** (:class:`Tracer.span <repro.observability.tracer.Tracer.span>`):
+  nested, monotonic-clock-timed regions with a wall-clock anchor;
+* **Metrics**: lazily-created counters and histogram summaries
+  (mechanism releases, audit trials, cache hits, solver iterations);
+* **Privacy ledger**: typed events for every ``Mechanism.release``
+  (emitted by a base-class hook covering all mechanism families), every
+  ``PrivacyAccountant`` charge or refusal, and every Gibbs temperature
+  calibration — each carrying its (ε, δ) so :func:`ledger_totals`
+  reconstructs the basic-composition spend of a run exactly.
+
+Tracing is disabled by default and the disabled hooks are near-free; turn
+it on with the :func:`tracing` context manager, or from the CLI via
+``repro bench/audit --trace/--trace-json`` and inspect results with
+``repro trace``. Schema and overhead notes: ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.observability.events import (
+    BudgetChargeEvent,
+    BudgetRefusalEvent,
+    CalibrationEvent,
+    LedgerEvent,
+    MechanismReleaseEvent,
+    event_from_dict,
+    ledger_totals,
+)
+from repro.observability.export import (
+    load_trace,
+    render_trace,
+    validate_trace,
+    write_trace,
+)
+from repro.observability.metrics import HistogramSummary, MetricSet
+from repro.observability.sinks import ConsoleSink, FileSink
+from repro.observability.tracer import (
+    TRACE_SCHEMA_VERSION,
+    SpanRecord,
+    Tracer,
+    activate,
+    current,
+    deactivate,
+    tracing,
+)
+
+__all__ = [
+    "BudgetChargeEvent",
+    "BudgetRefusalEvent",
+    "CalibrationEvent",
+    "ConsoleSink",
+    "FileSink",
+    "HistogramSummary",
+    "LedgerEvent",
+    "MechanismReleaseEvent",
+    "MetricSet",
+    "SpanRecord",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "activate",
+    "current",
+    "deactivate",
+    "event_from_dict",
+    "ledger_totals",
+    "load_trace",
+    "render_trace",
+    "tracing",
+    "validate_trace",
+    "write_trace",
+]

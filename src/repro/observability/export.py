@@ -1,0 +1,207 @@
+"""Trace JSON export: schema validation, loading, writing, rendering.
+
+The trace document (schema version 1, produced by
+:meth:`~repro.observability.tracer.Tracer.to_dict`)::
+
+    {
+      "schema_version": 1,
+      "name": "repro bench",
+      "created_unix": 1754870000.0,
+      "seconds": 1.234,
+      "spans": [
+        {"span_id": 1, "parent_id": null, "name": "experiment:E5",
+         "attributes": {...}, "started_unix": ..., "offset_seconds": 0.0,
+         "seconds": 0.81},
+        ...
+      ],
+      "counters": {"mechanism.releases": 120, ...},
+      "histograms": {"blahut_arimoto.iterations":
+                     {"count": 3, "total": 91.0, "min": 17, "max": 44}},
+      "ledger": [
+        {"kind": "charge", "label": "LaplaceMechanism", "epsilon": 0.5,
+         "delta": 0.0, "remaining_epsilon": 0.5, "remaining_delta": 0.0},
+        ...
+      ]
+    }
+
+:func:`validate_trace` checks a payload against this shape (every ledger
+entry must round-trip through the typed event classes);
+:func:`render_trace` pretty-prints the span tree, the metrics, and the
+basic-composition ledger totals for consoles.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import ValidationError
+from repro.observability.events import event_from_dict, ledger_totals
+from repro.observability.tracer import TRACE_SCHEMA_VERSION, Tracer
+
+__all__ = [
+    "load_trace",
+    "render_trace",
+    "validate_trace",
+    "write_trace",
+]
+
+_REQUIRED_KEYS = (
+    "schema_version",
+    "name",
+    "created_unix",
+    "seconds",
+    "spans",
+    "counters",
+    "histograms",
+    "ledger",
+)
+
+_SPAN_KEYS = frozenset(
+    (
+        "span_id",
+        "parent_id",
+        "name",
+        "attributes",
+        "started_unix",
+        "offset_seconds",
+        "seconds",
+    )
+)
+
+
+def validate_trace(payload: dict) -> dict:
+    """Validate a trace document; returns it unchanged when well-formed.
+
+    Parameters
+    ----------
+    payload:
+        A schema-version-1 trace document (see the module docstring).
+    """
+    if not isinstance(payload, dict):
+        raise ValidationError("trace payload must be a dict")
+    version = payload.get("schema_version")
+    if version != TRACE_SCHEMA_VERSION:
+        raise ValidationError(
+            f"unsupported trace schema version {version!r}; "
+            f"this build reads version {TRACE_SCHEMA_VERSION}"
+        )
+    missing = sorted(set(_REQUIRED_KEYS) - set(payload))
+    if missing:
+        raise ValidationError(f"trace missing keys: {missing}")
+    if not isinstance(payload["spans"], list):
+        raise ValidationError("trace 'spans' must be a list")
+    seen_ids = set()
+    for entry in payload["spans"]:
+        if not isinstance(entry, dict) or not _SPAN_KEYS <= set(entry):
+            lacking = sorted(_SPAN_KEYS - set(entry or ()))
+            raise ValidationError(f"span record missing keys: {lacking}")
+        parent = entry["parent_id"]
+        if parent is not None and parent not in seen_ids:
+            raise ValidationError(
+                f"span {entry['span_id']} references unknown parent {parent}"
+            )
+        seen_ids.add(entry["span_id"])
+    for family in ("counters", "histograms"):
+        if not isinstance(payload[family], dict):
+            raise ValidationError(f"trace {family!r} must be a dict")
+    if not isinstance(payload["ledger"], list):
+        raise ValidationError("trace 'ledger' must be a list")
+    for entry in payload["ledger"]:
+        event_from_dict(entry)  # raises ValidationError on malformed events
+    return payload
+
+
+def _payload_of(trace) -> dict:
+    """Normalize a :class:`Tracer` or payload dict to a validated payload."""
+    if isinstance(trace, Tracer):
+        return trace.to_dict()
+    return validate_trace(trace)
+
+
+def write_trace(trace, path) -> Path:
+    """Serialize a tracer (or payload) to ``path`` as indented JSON.
+
+    Parameters
+    ----------
+    trace:
+        A :class:`Tracer` or an already-exported trace document.
+    path:
+        Destination file; parent directories are created.
+    """
+    payload = _payload_of(trace)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_trace(path) -> dict:
+    """Read and validate a trace JSON file.
+
+    Parameters
+    ----------
+    path:
+        Path to a document written by :func:`write_trace`.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ValidationError(f"cannot read trace {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ValidationError(f"trace {path} is not valid JSON: {error}") from error
+    return validate_trace(payload)
+
+
+def render_trace(trace) -> str:
+    """Human-readable rendering: span tree, metrics, ledger totals.
+
+    Parameters
+    ----------
+    trace:
+        A :class:`Tracer` or trace document.
+    """
+    payload = _payload_of(trace)
+    lines = [
+        f"trace {payload['name']!r} — {payload['seconds']:.3f}s, "
+        f"{len(payload['spans'])} spans, {len(payload['ledger'])} ledger events"
+    ]
+
+    children: dict[int | None, list[dict]] = {}
+    for entry in payload["spans"]:
+        children.setdefault(entry["parent_id"], []).append(entry)
+
+    def walk(parent_id, depth):
+        for entry in children.get(parent_id, ()):
+            seconds = entry["seconds"]
+            timing = f"{seconds * 1e3:.3f} ms" if seconds is not None else "open"
+            lines.append(f"{'  ' * depth}• {entry['name']}  [{timing}]")
+            walk(entry["span_id"], depth + 1)
+
+    walk(None, 1)
+
+    if payload["counters"]:
+        lines.append("counters:")
+        for name in sorted(payload["counters"]):
+            lines.append(f"  {name} = {payload['counters'][name]:g}")
+    if payload["histograms"]:
+        lines.append("histograms:")
+        for name in sorted(payload["histograms"]):
+            h = payload["histograms"][name]
+            lines.append(
+                f"  {name}: n={h['count']} total={h['total']:g} "
+                f"min={h['min']} max={h['max']}"
+            )
+
+    kinds: dict[str, int] = {}
+    for entry in payload["ledger"]:
+        kinds[entry["kind"]] = kinds.get(entry["kind"], 0) + 1
+    if kinds:
+        summary = ", ".join(f"{kinds[k]} {k}" for k in sorted(kinds))
+        spent_epsilon, spent_delta = ledger_totals(payload["ledger"])
+        lines.append(f"ledger: {summary}")
+        lines.append(
+            "ledger charges compose (basic) to "
+            f"ε={spent_epsilon:.6g}, δ={spent_delta:.3g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Counters and histogram summaries for the tracing subsystem.
+
+Deliberately tiny: a counter is a number, a histogram is the streaming
+summary ``(count, total, min, max)``. That is enough to answer the
+operational questions the ROADMAP's serving work needs (how many releases,
+how many RNG draws, how many audit trials, how many cache hits, how long a
+release loop spends per iteration) without buckets, reservoirs, or any
+per-observation allocation on the hot path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+__all__ = ["HistogramSummary", "MetricSet"]
+
+
+@dataclass
+class HistogramSummary:
+    """Streaming summary of an observed distribution.
+
+    Attributes
+    ----------
+    count / total / minimum / maximum:
+        Number of observations, their sum, and the observed extremes.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (NaN when empty)."""
+        return self.total / self.count if self.count else math.nan
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (empty histograms have null extremes)."""
+        return {
+            "count": int(self.count),
+            "total": float(self.total),
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+
+class MetricSet:
+    """A named family of counters and histogram summaries.
+
+    Counters are monotone accumulators (``count``); histograms record
+    per-observation summaries (``observe``). Both are created lazily on
+    first touch, so instrumentation sites never need registration.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.histograms: dict[str, HistogramSummary] = {}
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` (default 1) to the counter ``name``.
+
+        Parameters
+        ----------
+        name:
+            Counter name, dot-namespaced (``"mechanism.releases"``).
+        value:
+            Increment; must be finite.
+        """
+        if not math.isfinite(value):
+            raise ValidationError(f"counter increment must be finite, got {value!r}")
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``.
+
+        Parameters
+        ----------
+        name:
+            Histogram name, dot-namespaced (``"release.seconds"``).
+        value:
+            The observed value; must be finite.
+        """
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValidationError(f"observation must be finite, got {value!r}")
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = HistogramSummary()
+        histogram.observe(value)
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def to_dict(self) -> dict:
+        """Both metric families as one JSON-serializable dict."""
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "histograms": {
+                name: self.histograms[name].to_dict()
+                for name in sorted(self.histograms)
+            },
+        }

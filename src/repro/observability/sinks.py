@@ -1,0 +1,53 @@
+"""Trace sinks: where a finished trace goes.
+
+Two built-in destinations — a console sink rendering the human-readable
+summary and a file sink writing the schema-versioned JSON document. The
+CLI's ``--trace`` and ``--trace-json`` flags are thin wrappers over these,
+and library callers can pass any object with the same one-method ``emit``
+protocol.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.observability.export import render_trace, write_trace
+
+__all__ = ["ConsoleSink", "FileSink"]
+
+
+class ConsoleSink:
+    """Render a trace summary to a text stream (stderr by default).
+
+    Parameters
+    ----------
+    stream:
+        Writable text stream; defaults to ``sys.stderr`` so trace output
+        never corrupts machine-readable stdout (JSON reports, tables).
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream
+
+    def emit(self, trace) -> None:
+        """Write the rendered trace followed by a newline."""
+        stream = self.stream if self.stream is not None else sys.stderr
+        stream.write(render_trace(trace) + "\n")
+
+
+class FileSink:
+    """Write the trace JSON document to a file.
+
+    Parameters
+    ----------
+    path:
+        Destination path (parents created on demand).
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def emit(self, trace) -> Path:
+        """Serialize the trace to :attr:`path`; returns the path."""
+        return write_trace(trace, self.path)

@@ -1,0 +1,276 @@
+"""The tracer: nested spans, metrics, and the privacy-ledger stream.
+
+One :class:`Tracer` collects everything a run emits — a tree of timed
+spans (wall-clock anchor + monotonic durations), lazily-created counters
+and histograms, and the typed ledger events of :mod:`.events` — and
+serializes it all as one schema-versioned JSON document.
+
+Tracing is **off by default** and the disabled path is engineered to be
+near-free: instrumented hot paths (``Mechanism.release``, the accountant,
+the bench runner) read one module-level binding via :func:`current` and
+bail on ``None`` before touching anything else. A tier-1 smoke test pins
+the disabled-hook overhead below 5% of a micro-benchmarked release loop.
+
+The active tracer is module-global (not thread- or process-local): one
+tracer per process, activated via the :func:`tracing` context manager or
+:func:`activate`/:func:`deactivate`. Worker subprocesses of the pooled
+bench backend therefore do not report into the parent's tracer — the bench
+engine records this honestly by omitting per-configuration trace summaries
+for pooled runs (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+from repro.observability.events import LedgerEvent
+from repro.observability.metrics import MetricSet
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "activate",
+    "current",
+    "deactivate",
+    "record",
+    "span",
+    "tracing",
+]
+
+#: Trace JSON document version (see docs/OBSERVABILITY.md for the schema).
+TRACE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class SpanRecord:
+    """One timed, possibly-nested region of work.
+
+    Attributes
+    ----------
+    span_id / parent_id:
+        Position in the span tree (ids are 1-based, in start order;
+        ``parent_id`` is ``None`` for roots).
+    name:
+        Span label (``"release:LaplaceMechanism"``).
+    attributes:
+        Small JSON-serializable annotations attached at start.
+    started_unix:
+        Wall-clock start (``time.time``), for cross-process alignment.
+    offset_seconds:
+        Monotonic start offset from the tracer's creation.
+    seconds:
+        Monotonic duration; ``None`` while the span is still open.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    attributes: dict = field(default_factory=dict)
+    started_unix: float = 0.0
+    offset_seconds: float = 0.0
+    seconds: float | None = None
+
+    def to_dict(self) -> dict:
+        """The span as a JSON-serializable dict."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "started_unix": self.started_unix,
+            "offset_seconds": self.offset_seconds,
+            "seconds": self.seconds,
+        }
+
+
+class Tracer:
+    """Collector for spans, metrics, and privacy-ledger events.
+
+    Parameters
+    ----------
+    name:
+        Label stored on the exported trace (e.g. ``"repro bench"``).
+    """
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = str(name)
+        self.created_unix = time.time()
+        self._t0 = time.perf_counter()
+        self.spans: list[SpanRecord] = []
+        self.events: list[LedgerEvent] = []
+        self.metrics = MetricSet()
+        self._stack: list[SpanRecord] = []
+
+    # -- spans ----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Open a nested span; closes (and times) it on exit.
+
+        Parameters
+        ----------
+        name:
+            Span label.
+        **attributes:
+            JSON-serializable annotations stored on the record.
+        """
+        record = SpanRecord(
+            span_id=len(self.spans) + 1,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=str(name),
+            attributes=attributes,
+            started_unix=time.time(),
+            offset_seconds=time.perf_counter() - self._t0,
+        )
+        self.spans.append(record)
+        self._stack.append(record)
+        started = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.seconds = time.perf_counter() - started
+            self._stack.pop()
+
+    @property
+    def active_span(self) -> SpanRecord | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    # -- ledger + metrics ----------------------------------------------
+
+    def record(self, event: LedgerEvent) -> None:
+        """Append one typed event to the privacy ledger."""
+        if not isinstance(event, LedgerEvent):
+            raise ValidationError("record() takes a LedgerEvent")
+        self.events.append(event)
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Increment the counter ``name`` by ``value``.
+
+        Parameters
+        ----------
+        name:
+            Counter name.
+        value:
+            Increment (default 1).
+        """
+        self.metrics.count(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one histogram observation.
+
+        Parameters
+        ----------
+        name:
+            Histogram name.
+        value:
+            Observed value.
+        """
+        self.metrics.observe(name, value)
+
+    # -- export ---------------------------------------------------------
+
+    @property
+    def seconds(self) -> float:
+        """Monotonic seconds since the tracer was created."""
+        return time.perf_counter() - self._t0
+
+    def to_dict(self) -> dict:
+        """The full trace as its schema-versioned JSON document."""
+        metrics = self.metrics.to_dict()
+        return {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "name": self.name,
+            "created_unix": self.created_unix,
+            "seconds": self.seconds,
+            "spans": [record.to_dict() for record in self.spans],
+            "counters": metrics["counters"],
+            "histograms": metrics["histograms"],
+            "ledger": [event.to_dict() for event in self.events],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({self.name!r}, spans={len(self.spans)}, "
+            f"events={len(self.events)})"
+        )
+
+
+# -- module-global activation ------------------------------------------
+
+#: The process-wide active tracer; ``None`` means tracing is disabled and
+#: every instrumentation hook is a near-free no-op.
+_ACTIVE: Tracer | None = None
+
+
+def current() -> Tracer | None:
+    """The active tracer, or ``None`` when tracing is disabled."""
+    return _ACTIVE
+
+
+def activate(tracer: Tracer) -> Tracer | None:
+    """Install ``tracer`` as the active tracer; returns the previous one."""
+    global _ACTIVE
+    if not isinstance(tracer, Tracer):
+        raise ValidationError("activate() takes a Tracer")
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+def deactivate() -> Tracer | None:
+    """Disable tracing; returns the tracer that was active, if any."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None):
+    """Context manager: activate a tracer, restore the previous on exit.
+
+    Parameters
+    ----------
+    tracer:
+        The tracer to activate; a fresh one is created when omitted.
+    """
+    tracer = tracer if tracer is not None else Tracer()
+    previous = activate(tracer)
+    try:
+        yield tracer
+    finally:
+        global _ACTIVE
+        _ACTIVE = previous
+
+
+# -- no-op-safe helpers for instrumentation sites ----------------------
+
+
+@contextmanager
+def span(name: str, **attributes):
+    """A span on the active tracer, or a no-op when tracing is disabled.
+
+    Parameters
+    ----------
+    name:
+        Span label.
+    **attributes:
+        Annotations forwarded to :meth:`Tracer.span`.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        yield None
+    else:
+        with tracer.span(name, **attributes) as opened:
+            yield opened
+
+
+def record(event: LedgerEvent) -> None:
+    """Record a ledger event on the active tracer (no-op when disabled)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.record(event)

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.exceptions import DPAuditError, ValidationError
 from repro.mechanisms.base import Mechanism
+from repro.observability import tracer as _trace
 from repro.testing.neighbors import NeighborPair
 from repro.testing.statistical import DEFAULT_POLICY, StatisticalPolicy
 from repro.utils.validation import (
@@ -478,23 +479,31 @@ def audit_mechanism(
         raise ValidationError("n_samples must be >= 8")
     confidence = check_confidence(confidence, name="confidence")
     rng = check_random_state(random_state)
-    outputs_a = _draw_outputs(
-        mechanism, pair.a, n_samples, rng, sampler, output_key
-    )
-    outputs_b = _draw_outputs(
-        mechanism, pair.b, n_samples, rng, sampler, output_key
-    )
-    estimate = estimate_epsilon_lower_bound(
-        outputs_a,
-        outputs_b,
-        confidence=confidence,
-        kind=kind,
-        n_bins=n_bins,
-        max_events=max_events,
-    )
+    audit_name = name or type(mechanism).__name__
+    with _trace.span(
+        f"audit:{audit_name}", pair=pair.name or "(unnamed pair)"
+    ):
+        outputs_a = _draw_outputs(
+            mechanism, pair.a, n_samples, rng, sampler, output_key
+        )
+        outputs_b = _draw_outputs(
+            mechanism, pair.b, n_samples, rng, sampler, output_key
+        )
+        tracer = _trace.current()
+        if tracer is not None:
+            tracer.count("audit.trials")
+            tracer.count("audit.draws", 2 * n_samples)
+        estimate = estimate_epsilon_lower_bound(
+            outputs_a,
+            outputs_b,
+            confidence=confidence,
+            kind=kind,
+            n_bins=n_bins,
+            max_events=max_events,
+        )
     bound = estimate["epsilon_lower_bound"]
     return StatisticalAuditReport(
-        mechanism=name or type(mechanism).__name__,
+        mechanism=audit_name,
         pair_name=pair.name or "(unnamed pair)",
         claimed_epsilon=float(epsilon),
         epsilon_lower_bound=bound,
@@ -565,6 +574,10 @@ def assert_dp(
     audit_options.setdefault("tolerance", policy.tolerance)
     report = None
     for attempt in range(policy.max_retries + 1):
+        if attempt:
+            tracer = _trace.current()
+            if tracer is not None:
+                tracer.count("audit.retries")
         seed = policy.seed_for(audit_name, attempt)
         report = audit_mechanism(
             mechanism,

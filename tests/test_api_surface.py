@@ -15,6 +15,7 @@ SUBPACKAGES = [
     "repro.information",
     "repro.learning",
     "repro.mechanisms",
+    "repro.observability",
     "repro.privacy",
     "repro.private_learning",
     "repro.testing",

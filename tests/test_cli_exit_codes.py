@@ -206,3 +206,114 @@ class TestBenchExitCodes:
         result = _run_module("bench", "E14", *self._dirs(tmp_path))
         assert result.returncode == 0, result.stderr
         assert (tmp_path / "out" / "BENCH_E14.json").exists()
+
+
+class TestTraceCli:
+    """The observability surface: --trace/--trace-json flags + `repro trace`."""
+
+    def _dirs(self, tmp_path):
+        return [
+            "--output-dir", str(tmp_path / "out"),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+
+    def test_bench_trace_json_writes_schema_valid_document(
+        self, capsys, tmp_path
+    ):
+        from repro.observability import validate_trace
+
+        trace_path = tmp_path / "traces" / "bench.json"
+        code = main(
+            [
+                "bench", "E14", "--no-cache",
+                "--trace-json", str(trace_path),
+                *self._dirs(tmp_path),
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "trace written" in err
+        payload = json.loads(trace_path.read_text())
+        assert validate_trace(payload) == payload
+        assert payload["name"] == "repro bench"
+        names = [s["name"] for s in payload["spans"]]
+        assert "experiment:E14" in names
+        assert "config:E14" in names
+
+    def test_bench_trace_prints_summary_to_stderr(self, capsys, tmp_path):
+        code = main(
+            ["bench", "E14", "--no-cache", "--trace", *self._dirs(tmp_path)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "repro bench" in captured.err
+        assert "experiment:E14" in captured.err
+        assert "bench OK" in captured.out  # stdout untouched by the trace
+
+    def test_audit_trace_json_records_audit_spans(self, capsys, tmp_path):
+        trace_path = tmp_path / "audit.json"
+        code = main(
+            [
+                "audit", "randomized-response", "--skip-exact",
+                "--trace-json", str(trace_path), *FAST_AUDIT,
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        payload = json.loads(trace_path.read_text())
+        assert payload["name"] == "repro audit"
+        assert any(
+            s["name"].startswith("audit:") for s in payload["spans"]
+        )
+        assert payload["counters"]["audit.trials"] >= 1
+        assert payload["counters"]["mechanism.releases"] >= 1
+
+    def test_trace_command_round_trips(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.json"
+        assert (
+            main(
+                [
+                    "bench", "E14", "--no-cache",
+                    "--trace-json", str(trace_path),
+                    *self._dirs(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "experiment:E14" in out
+        assert main(["trace", str(trace_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "repro bench"
+
+    def test_trace_command_missing_file_exits_two(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "missing.json")]) == 2
+        assert "trace:" in capsys.readouterr().err
+
+    def test_trace_command_malformed_document_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema_version": 99}')
+        assert main(["trace", str(bad)]) == 2
+        assert "schema version" in capsys.readouterr().err
+
+    def test_untraced_commands_leave_no_tracer_active(self, capsys, tmp_path):
+        from repro.observability import current
+
+        assert main(["bench", "E14", "--no-cache", *self._dirs(tmp_path)]) == 0
+        capsys.readouterr()
+        assert current() is None
+
+    def test_subprocess_trace_flow(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        run = _run_module(
+            "bench", "E14", "--no-cache",
+            "--trace-json", str(trace_path),
+            "--output-dir", str(tmp_path / "out"),
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert run.returncode == 0, run.stderr
+        show = _run_module("trace", str(trace_path))
+        assert show.returncode == 0, show.stderr
+        assert "experiment:E14" in show.stdout

@@ -117,3 +117,105 @@ class TestAccountant:
         acct = PrivacyAccountant(budget=PrivacySpec(1.0))
         assert acct.spent is None
         assert acct.remaining_epsilon == pytest.approx(1.0)
+
+    def test_preloaded_ledger_is_folded_once(self):
+        from repro.mechanisms.accountant import LedgerEntry
+
+        entries = [
+            LedgerEntry(label=f"q{i}", spec=PrivacySpec(0.1)) for i in range(5)
+        ]
+        acct = PrivacyAccountant(budget=PrivacySpec(2.0), _ledger=entries)
+        assert acct.spent.epsilon == pytest.approx(0.5)
+        assert acct.remaining_epsilon == pytest.approx(1.5)
+
+
+class TestAccountantSinglePassAccounting:
+    """Regression: ``spent`` must not re-fold the whole ledger per charge.
+
+    The original implementation recomputed the composed total from scratch
+    on every ``spent``/``can_afford``/``charge`` — O(n²) compose calls over
+    a run of n releases. The fix keeps a running total, so n charges cost
+    exactly n-1 composes (the first charge initializes the total).
+    """
+
+    def test_n_charges_compose_linearly(self, monkeypatch):
+        compose_calls = 0
+        original_compose = PrivacySpec.compose
+
+        def spying_compose(self, other):
+            nonlocal compose_calls
+            compose_calls += 1
+            return original_compose(self, other)
+
+        monkeypatch.setattr(PrivacySpec, "compose", spying_compose)
+        n = 50
+        acct = PrivacyAccountant(budget=PrivacySpec(100.0))
+        for _ in range(n):
+            acct.charge(PrivacySpec(0.01))
+        # Linear accounting: one compose per charge after the first. The
+        # O(n²) fold would have needed n·(n-1)/2 = 1225 composes by now.
+        assert compose_calls == n - 1
+        # Reading totals afterwards costs nothing further.
+        _ = acct.spent, acct.remaining_epsilon, acct.remaining_delta
+        assert compose_calls == n - 1
+
+    def test_spent_reads_are_constant_time(self, monkeypatch):
+        compose_calls = 0
+        original_compose = PrivacySpec.compose
+
+        def spying_compose(self, other):
+            nonlocal compose_calls
+            compose_calls += 1
+            return original_compose(self, other)
+
+        monkeypatch.setattr(PrivacySpec, "compose", spying_compose)
+        acct = PrivacyAccountant(budget=PrivacySpec(10.0))
+        acct.charge(PrivacySpec(0.5))
+        acct.charge(PrivacySpec(0.5))
+        before = compose_calls
+        for _ in range(100):
+            assert acct.spent.epsilon == pytest.approx(1.0)
+        assert compose_calls == before
+
+
+class TestRelativeBudgetTolerance:
+    """Regression: the affordability slack must scale with the budget.
+
+    A flat ``1e-12`` tolerance silently granted every accountant an extra
+    absolute 1e-12 of ε per comparison — material for tiny budgets and
+    wrong in kind for all of them. The relative tolerance admits exact
+    exhaustion despite float rounding, but never more than a 1e-9-fraction
+    overshoot of the budget itself.
+    """
+
+    def test_many_tiny_charges_never_exceed_relative_budget(self):
+        budget = PrivacySpec(epsilon=1e-9)
+        acct = PrivacyAccountant(budget=budget)
+        n, spec = 1000, PrivacySpec(1e-12)
+        accepted = 0
+        for _ in range(n):
+            try:
+                acct.charge(spec)
+            except PrivacyBudgetError:
+                break
+            accepted += 1
+        assert accepted == n  # 1000 × 1e-12 = 1e-9: exactly affordable
+        assert acct.spent.epsilon <= budget.epsilon * (1 + 1e-9)
+        # ... and the next tiny charge must be refused outright.
+        with pytest.raises(PrivacyBudgetError):
+            acct.charge(spec)
+        assert acct.spent.epsilon <= budget.epsilon * (1 + 1e-9)
+
+    def test_exact_exhaustion_still_affordable_for_tiny_budgets(self):
+        acct = PrivacyAccountant(budget=PrivacySpec(1e-9))
+        acct.charge(PrivacySpec(5e-10))
+        acct.charge(PrivacySpec(5e-10))
+        assert acct.remaining_epsilon == pytest.approx(0.0, abs=1e-24)
+
+    def test_flat_absolute_slack_is_gone(self):
+        # Under the old flat 1e-12 tolerance this overshoot (50% of the
+        # budget!) was accepted; relative slack refuses it.
+        acct = PrivacyAccountant(budget=PrivacySpec(1e-12))
+        acct.charge(PrivacySpec(1e-12))
+        with pytest.raises(PrivacyBudgetError):
+            acct.charge(PrivacySpec(5e-13))

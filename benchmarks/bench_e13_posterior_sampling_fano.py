@@ -50,8 +50,9 @@ def bench_case(epsilon, draws=100, seed=1, fano_n=3):
         [sampler.release(data, random_state=rng) for _ in range(draws)]
     )
     gibbs = GibbsEstimator.from_privacy(grid, epsilon, N)
-    gibbs_draws = np.array(
-        [float(gibbs.release(list(data), random_state=rng)) for _ in range(draws)]
+    # Batched draws from the (dataset-fixed) Gibbs posterior.
+    gibbs_draws = np.asarray(
+        gibbs.release_many(list(data), draws, random_state=rng), dtype=float
     )
 
     fano_task = BernoulliTask(p=0.5)
@@ -100,11 +101,9 @@ def test_e13_posterior_sampling_error(benchmark):
                 [sampler.release(data, random_state=rng) for _ in range(SEEDS)]
             )
             gibbs = GibbsEstimator.from_privacy(grid, eps, N)
-            gibbs_draws = np.array(
-                [
-                    float(gibbs.release(list(data), random_state=rng))
-                    for _ in range(SEEDS)
-                ]
+            gibbs_draws = np.asarray(
+                gibbs.release_many(list(data), SEEDS, random_state=rng),
+                dtype=float,
             )
             rows.append(
                 {

@@ -125,16 +125,13 @@ def test_e14_smooth_vs_global_median(benchmark):
         # once and simulate the mechanism's noise directly.
         scale = 2.0 * smooth.smooth_sensitivity(data) / epsilon
         smooth_errors = np.abs(rng.laplace(scale=scale, size=2000))
-        naive_errors = [
-            abs(
-                np.clip(naive.release(data, random_state=rng), 0, 1) - truth
-            )
-            for _ in range(2000)
-        ]
-        quantile_errors = [
-            abs(exp_quantile.release(data, random_state=rng) - truth)
-            for _ in range(2000)
-        ]
+        naive_errors = np.abs(
+            np.clip(naive.release_many(data, 2000, random_state=rng), 0, 1)
+            - truth
+        )
+        quantile_errors = np.abs(
+            exp_quantile.release_many(data, 2000, random_state=rng) - truth
+        )
         return (
             float(np.median(smooth_errors)),
             float(np.median(naive_errors)),

@@ -71,22 +71,14 @@ def bench_case(epsilon, n_users=4000, seed=17, horizon=256, repeats=5):
     truth = np.cumsum(stream)
     tree = TreeAggregator(horizon=horizon, epsilon=epsilon)
     naive = NaivePrefixRelease(horizon=horizon, epsilon=epsilon)
-    tree_rms = np.sqrt(
-        np.mean(
-            [
-                np.mean((tree.release(stream, random_state=rng) - truth) ** 2)
-                for _ in range(repeats)
-            ]
-        )
+    # Batched repeats via release_many (base fallback for these stream
+    # mechanisms — same draws, one aggregated ledger event when traced).
+    tree_runs = np.asarray(tree.release_many(stream, repeats, random_state=rng))
+    tree_rms = np.sqrt(np.mean((tree_runs - truth) ** 2))
+    naive_runs = np.asarray(
+        naive.release_many(stream, repeats, random_state=rng)
     )
-    naive_rms = np.sqrt(
-        np.mean(
-            [
-                np.mean((naive.release(stream, random_state=rng) - truth) ** 2)
-                for _ in range(repeats)
-            ]
-        )
-    )
+    naive_rms = np.sqrt(np.mean((naive_runs - truth) ** 2))
     return {
         "central_l1": float(frequencies["central"]),
         "krr_l1": float(frequencies["krr"]),

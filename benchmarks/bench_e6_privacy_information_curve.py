@@ -129,14 +129,21 @@ def test_e6_estimator_cross_validation(benchmark):
 
     def run():
         rng = np.random.default_rng(0)
+        draws = channel.sample_law.sample(size=60_000, random_state=rng)
+        # The posterior depends only on the dataset, so group identical
+        # datasets and draw each group's thetas as one vectorized batch
+        # (the joint (Z, θ) law is unchanged: draws are conditionally
+        # i.i.d. given the dataset, and the MI histogram ignores order).
+        counts = {}
+        for sample in draws:
+            counts[sample] = counts.get(sample, 0) + 1
         inputs, outputs = [], []
-        for _ in range(60_000):
-            sample = channel.sample_law.sample(random_state=rng)
-            theta = estimator.gibbs.posterior(list(sample)).sample(
-                random_state=rng
+        for sample, count in counts.items():
+            thetas = estimator.release_many(
+                list(sample), count, random_state=rng
             )
-            inputs.append(sample)
-            outputs.append(theta)
+            inputs.extend([sample] * count)
+            outputs.extend(thetas)
         return mutual_information_histogram(
             [str(s) for s in inputs], [str(t) for t in outputs]
         )

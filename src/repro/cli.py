@@ -8,15 +8,23 @@ Commands
 ``bench``
     Drive the registered benchmark experiments through the parallel,
     cached engine and write machine-readable ``BENCH_<id>.json``
-    manifests. Exit code 0 when every configuration succeeded, 1 when
-    any failed after retries, 2 on usage errors — the same contract as
-    ``lint``/``audit``.
+    manifests. ``--compare BASELINE`` additionally diffs the fresh
+    timings against a committed ``perf_baseline.json`` under
+    ``--tolerance`` and fails on regression; ``--write-baseline PATH``
+    records a new baseline. Exit code 0 when every configuration
+    succeeded (and, with ``--compare``, no experiment regressed), 1 when
+    any failed after retries or exceeded the perf tolerance, 2 on usage
+    errors — the same contract as ``lint``/``audit``.
 ``audit``
     Statistical verification of every mechanism family's claimed ε:
     Monte-Carlo audits with certified Clopper–Pearson lower bounds, plus
     an exact enumeration audit of the Gibbs estimator. Exit code 0 when
     every claim holds, 1 on a certified violation, 2 on usage errors —
     the same contract as ``lint``.
+``audit-summary``
+    Render a ``repro audit --format json`` report as a GitHub-flavoured
+    markdown summary (the nightly CI job appends it to
+    ``$GITHUB_STEP_SUMMARY``).
 ``tradeoff``
     Print the privacy–information–risk frontier (Theorem 4.2) for a
     Bernoulli instance.
@@ -41,6 +49,7 @@ from __future__ import annotations
 import argparse
 import itertools
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -123,6 +132,34 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="list_experiments",
         help="print the experiments the selection resolves to and exit",
     )
+    bench.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default=None,
+        help="diff this run's executed seconds against a committed "
+        "perf_baseline.json (forces fresh timings); exit 1 on regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        help="largest acceptable measured/baseline slowdown ratio for "
+        "--compare (default: 1.5)",
+    )
+    bench.add_argument(
+        "--compare-output",
+        metavar="PATH",
+        default=None,
+        help="write the --compare report JSON here "
+        "(default: <output-dir>/PERF_COMPARE.json)",
+    )
+    bench.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="record this run's executed seconds as the new perf baseline "
+        "(forces fresh timings)",
+    )
     _add_trace_flags(bench)
 
     audit = sub.add_parser(
@@ -161,6 +198,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the audit-family registry and exit",
     )
     _add_trace_flags(audit)
+
+    audit_summary = sub.add_parser(
+        "audit-summary",
+        help="render a markdown summary of a `repro audit --format json` "
+        "report (CI writes it to $GITHUB_STEP_SUMMARY)",
+    )
+    audit_summary.add_argument(
+        "path", help="path to an audit.json written by audit --format json"
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -283,8 +329,11 @@ def _bench_body(args) -> int:
     from repro.exceptions import ValidationError
     from repro.experiments import (
         BenchmarkEngine,
+        PerfBaseline,
         ResultCache,
         ResultTable,
+        compare_to_baseline,
+        load_baseline,
         select_experiments,
     )
 
@@ -297,14 +346,36 @@ def _bench_body(args) -> int:
         for experiment in selected:
             print(f"{experiment.id}  {experiment.bench}")
         return 0
+    baseline = None
+    if args.compare is not None:
+        # Fail on a bad baseline *before* spending a bench run on it.
+        try:
+            baseline = load_baseline(args.compare)
+        except ValidationError as error:
+            print(f"bench: {error}", file=sys.stderr)
+            return 2
+    perf_mode = args.compare is not None or args.write_baseline is not None
+    if perf_mode and not args.no_cache:
+        # Cached timings are not timings; perf modes always measure fresh.
+        print(
+            "bench: --compare/--write-baseline force fresh timings "
+            "(result cache bypassed)",
+            file=sys.stderr,
+        )
     try:
         engine = BenchmarkEngine(
             workers=args.workers,
             timeout=args.timeout,
             retries=args.retries,
-            cache=None if args.no_cache else ResultCache(args.cache_dir),
+            cache=(
+                None
+                if args.no_cache or perf_mode
+                else ResultCache(args.cache_dir)
+            ),
             output_dir=args.output_dir,
         )
+        if args.tolerance <= 0:
+            raise ValidationError("--tolerance must be > 0")
     except ValidationError as error:
         print(f"bench: {error}", file=sys.stderr)
         return 2
@@ -348,7 +419,68 @@ def _bench_body(args) -> int:
             f"{sum(m.cache_hits for m in manifests)} cache hits, "
             f"{failures} failures"
         )
-    return 0 if failures == 0 else 1
+    if failures:
+        return 1
+
+    if args.write_baseline is not None:
+        try:
+            note = f"repro bench {' '.join(args.experiments) or 'all'}"
+            path = PerfBaseline.from_manifests(manifests, note=note).write(
+                args.write_baseline
+            )
+        except ValidationError as error:
+            print(f"bench: {error}", file=sys.stderr)
+            return 2
+        print(f"perf baseline written: {path}", file=sys.stderr)
+
+    if baseline is not None:
+        try:
+            comparison = compare_to_baseline(
+                manifests, baseline, tolerance=args.tolerance
+            )
+        except ValidationError as error:
+            print(f"bench: {error}", file=sys.stderr)
+            return 2
+        report_path = args.compare_output or str(
+            Path(args.output_dir) / "PERF_COMPARE.json"
+        )
+        Path(report_path).parent.mkdir(parents=True, exist_ok=True)
+        Path(report_path).write_text(
+            json.dumps(comparison.to_dict(), indent=2) + "\n"
+        )
+        table = ResultTable(
+            ["id", "baseline s", "measured s", "ratio", "verdict"],
+            title=f"Perf comparison (tolerance {comparison.tolerance:g}x)",
+        )
+        for entry in comparison.entries:
+            verdict = "ok"
+            if entry.configurations_changed:
+                verdict = "SWEEP CHANGED"
+            elif entry.regressed:
+                verdict = "REGRESSED"
+            table.add_row(
+                entry.experiment_id,
+                round(entry.baseline_seconds, 4),
+                round(entry.measured_seconds, 4),
+                round(entry.ratio, 3),
+                verdict,
+            )
+        print(table, file=sys.stderr)
+        if not comparison.ok:
+            slowest = ", ".join(e.experiment_id for e in comparison.regressions)
+            print(
+                f"bench PERF REGRESSION: {slowest} exceeded "
+                f"{comparison.tolerance:g}x of the committed baseline "
+                f"({args.compare}); report: {report_path}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"bench perf OK: {len(comparison.entries)} experiment(s) within "
+            f"{comparison.tolerance:g}x of baseline; report: {report_path}",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def _cmd_audit(args) -> int:
@@ -458,6 +590,60 @@ def _audit_body(args) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_audit_summary(args) -> int:
+    import json
+
+    try:
+        payload = json.loads(Path(args.path).read_text())
+    except OSError as error:
+        print(f"audit-summary: cannot read {args.path}: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"audit-summary: {args.path} is not valid JSON: {error}",
+              file=sys.stderr)
+        return 2
+    reports = payload.get("reports")
+    if not isinstance(reports, list) or not isinstance(payload, dict):
+        print(
+            f"audit-summary: {args.path} is not a `repro audit --format "
+            "json` report (missing 'reports')",
+            file=sys.stderr,
+        )
+        return 2
+
+    satisfied = bool(payload.get("satisfied"))
+    verdict = "✅ all audits within claimed ε" if satisfied else "❌ VIOLATION"
+    print("## Nightly statistical DP audits")
+    print()
+    print(f"**{verdict}** — n={payload.get('n')}, "
+          f"{payload.get('samples')} samples/side, "
+          f"confidence {payload.get('confidence')}, "
+          f"seed {payload.get('seed')}")
+    print()
+    print("| family | claimed ε | certified ε ≥ | point est. | verdict |")
+    print("|---|---|---|---|---|")
+    for report in reports:
+        mark = "ok" if report.get("satisfied") else "**VIOLATION**"
+        print(
+            f"| {report.get('mechanism')} "
+            f"| {report.get('claimed_epsilon'):.4g} "
+            f"| {report.get('epsilon_lower_bound'):.4f} "
+            f"| {report.get('point_estimate'):.4f} "
+            f"| {mark} |"
+        )
+    exact = payload.get("gibbs_exact")
+    if isinstance(exact, dict):
+        mark = "ok" if exact.get("satisfied") else "**VIOLATION**"
+        print()
+        print(
+            f"Gibbs exact enumeration: measured ε = "
+            f"{exact.get('measured_epsilon'):.4f} vs claimed "
+            f"{exact.get('claimed_epsilon'):.4g} over "
+            f"{exact.get('pairs_checked')} neighbour pairs — {mark}"
+        )
+    return 0
+
+
 def _cmd_tradeoff(args) -> int:
     from repro.core import tradeoff_curve
     from repro.experiments import ResultTable
@@ -536,6 +722,7 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "bench": _cmd_bench,
     "audit": _cmd_audit,
+    "audit-summary": _cmd_audit_summary,
     "trace": _cmd_trace,
     "tradeoff": _cmd_tradeoff,
     "release": _cmd_release,

@@ -199,6 +199,24 @@ class GibbsEstimator(Mechanism):
         rng = check_random_state(random_state)
         return self.output_distribution(sample).sample(random_state=rng)
 
+    def _release_many(self, sample, n, rng):
+        """Vectorized kernel: build the posterior once, sample ``n`` times.
+
+        The Gibbs posterior depends only on ``sample``, so the batch
+        computes it once and draws a size-``n`` categorical sample —
+        stream-identical to ``n`` sequential :meth:`release` calls.
+
+        Parameters
+        ----------
+        sample:
+            The training sample (length must match the calibration size).
+        n:
+            Number of releases (≥ 1).
+        rng:
+            A ready :class:`numpy.random.Generator`.
+        """
+        return self.output_distribution(sample).sample(size=n, random_state=rng)
+
     def _check_size(self, sample: Sequence) -> None:
         if len(sample) != self.expected_sample_size:
             raise ValidationError(

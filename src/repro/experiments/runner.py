@@ -178,6 +178,9 @@ def _traced_invoke(
     element is ``None`` when tracing is disabled, else a small dict of the
     ledger events, spans, and mechanism releases this configuration alone
     produced (computed as before/after deltas on the active tracer).
+    ``mechanism_releases`` counts individual draws: a batched
+    ``release_many(d, n)`` call contributes ``n`` (one aggregated ledger
+    event with ``count == n``), exactly like ``n`` single releases.
     """
     tracer = _trace.current()
     if tracer is None:

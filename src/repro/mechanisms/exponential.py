@@ -85,10 +85,27 @@ class ExponentialMechanism(Mechanism):
         super().__init__(PrivacySpec(epsilon=guarantee))
 
     def quality_scores(self, dataset) -> np.ndarray:
-        """Quality of every candidate output on ``dataset``."""
-        return np.asarray(
+        """Quality of every candidate output on ``dataset``.
+
+        Scores must be finite: a ±inf or nan score would poison the
+        exponential tilt (even the log-sum-exp normalization produces nan
+        from ``exp(score - inf)``), so it is rejected here rather than
+        surfacing as nan probabilities downstream.
+
+        Parameters
+        ----------
+        dataset:
+            The dataset to score every candidate against.
+        """
+        scores = np.asarray(
             [float(self.quality(dataset, u)) for u in self.outputs], dtype=float
         )
+        if not np.isfinite(scores).all():
+            raise ValidationError(
+                "quality scores must be finite; got "
+                f"{scores[~np.isfinite(scores)][:3].tolist()} ..."
+            )
+        return scores
 
     def output_distribution(self, dataset) -> DiscreteDistribution:
         """The exact output law on ``dataset`` — an exponential tilt of π.
@@ -103,6 +120,25 @@ class ExponentialMechanism(Mechanism):
         """Sample one output from the exponential distribution."""
         rng = check_random_state(random_state)
         return self.output_distribution(dataset).sample(random_state=rng)
+
+    def _release_many(self, dataset, n, rng):
+        """Vectorized kernel: tilt once, sample the law ``n`` times.
+
+        The output distribution depends only on ``dataset``, so the batch
+        computes it once and draws a size-``n`` sample — stream-identical
+        to ``n`` sequential :meth:`release` calls (one categorical draw
+        each from the same generator).
+
+        Parameters
+        ----------
+        dataset:
+            The dataset to query.
+        n:
+            Number of releases (≥ 1).
+        rng:
+            A ready :class:`numpy.random.Generator`.
+        """
+        return self.output_distribution(dataset).sample(size=n, random_state=rng)
 
     def expected_quality(self, dataset) -> float:
         """Mean quality of the released output on ``dataset``."""

@@ -29,7 +29,8 @@ class RandomizedResponse(Mechanism):
 
     def __init__(self, epsilon: float) -> None:
         super().__init__(PrivacySpec(epsilon=epsilon))
-        self.truth_probability = float(np.exp(epsilon) / (1.0 + np.exp(epsilon)))
+        # Stable sigmoid: exp(ε)/(1+exp(ε)) overflows to nan past ε ≈ 709.
+        self.truth_probability = float(1.0 / (1.0 + np.exp(-epsilon)))
 
     def randomize_bit(self, bit: int, random_state=None) -> int:
         """Randomize one binary value."""
@@ -47,6 +48,28 @@ class RandomizedResponse(Mechanism):
         if not np.isin(bits, (0, 1)).all():
             raise ValidationError("dataset must contain only 0/1 values")
         keep = rng.uniform(size=bits.shape) < self.truth_probability
+        return np.where(keep, bits, 1 - bits)
+
+    def _release_many(self, dataset, n, rng):
+        """Vectorized kernel: one ``(n, *bits.shape)`` uniform block.
+
+        C-order filling makes the block consume the generator stream
+        exactly like ``n`` sequential :meth:`release` calls, so outputs
+        are bit-identical to the serial loop.
+
+        Parameters
+        ----------
+        dataset:
+            Binary dataset to randomize, as :meth:`release` expects it.
+        n:
+            Number of releases (≥ 1).
+        rng:
+            A ready :class:`numpy.random.Generator`.
+        """
+        bits = np.asarray(dataset, dtype=int)
+        if not np.isin(bits, (0, 1)).all():
+            raise ValidationError("dataset must contain only 0/1 values")
+        keep = rng.uniform(size=(n, *bits.shape)) < self.truth_probability
         return np.where(keep, bits, 1 - bits)
 
     def estimate_proportion(self, randomized_bits) -> float:

@@ -65,17 +65,25 @@ class LedgerEvent:
 
 @dataclass(frozen=True)
 class MechanismReleaseEvent(LedgerEvent):
-    """One ``Mechanism.release`` call and the guarantee it consumed.
+    """One or more ``Mechanism`` releases and the guarantee each consumed.
+
+    A single ``release`` call records one event with ``count == 1``; a
+    batched ``release_many(dataset, n)`` call records *one* event with
+    ``count == n`` instead of ``n`` events, so traces stay small while
+    :func:`ledger_totals` still composes the same total spend.
 
     Parameters
     ----------
     mechanism:
         Class name of the mechanism that produced the output.
+    count:
+        Number of releases this event aggregates (≥ 1).
     """
 
     kind: ClassVar[str] = "release"
 
     mechanism: str = ""
+    count: int = 1
 
 
 @dataclass(frozen=True)
@@ -192,6 +200,7 @@ def ledger_totals(
         if isinstance(event, dict):
             event = event_from_dict(event)
         if event.kind in kinds:
-            epsilon_total += event.epsilon
-            delta_total += event.delta
+            count = getattr(event, "count", 1)
+            epsilon_total += count * event.epsilon
+            delta_total += count * event.delta
     return (epsilon_total, delta_total)

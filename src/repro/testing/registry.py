@@ -59,7 +59,11 @@ class PreparedAudit:
     kind:
         Event family for the estimator (``"discrete"`` / ``"binned"``).
     sampler:
-        Optional vectorized sampler ``(dataset, size, rng) -> outputs``.
+        Optional custom sampler ``(dataset, size, rng) -> outputs``. With
+        the batched ``Mechanism.release_many`` path (stream-identical to
+        sequential releases, vectorized per family) the built-in families
+        no longer need one; the hook remains for mechanisms whose audit
+        must bypass ``release`` entirely.
     output_key:
         Optional raw-output → hashable-key transform.
     note:
@@ -95,19 +99,12 @@ def _laplace(epsilon: float, n: int, noise_scale: float) -> PreparedAudit:
     mechanism = LaplaceMechanism(_sum_query, 1.0, epsilon)
     if noise_scale != 1.0:
         mechanism.noise = LaplaceNoise(scale=mechanism.noise.scale * noise_scale)
-
-    def sampler(dataset, size, rng):
-        return _sum_query(dataset) + mechanism.noise.sample(
-            size=size, random_state=rng
-        )
-
     return PreparedAudit(
         name="laplace",
         mechanism=mechanism,
         pair=extreme_record_pair(n),
         epsilon=mechanism.epsilon,
         kind="binned",
-        sampler=sampler,
         note="Lap(Δf/ε) noise on a saturating sum query (Theorem 2.3)",
     )
 
@@ -132,9 +129,8 @@ def _randomized_response(
     mechanism = RandomizedResponse(epsilon)
     if noise_scale != 1.0:
         boosted = epsilon / noise_scale
-        mechanism.truth_probability = float(
-            np.exp(boosted) / (1.0 + np.exp(boosted))
-        )
+        # Stable sigmoid, same as the mechanism's own constructor.
+        mechanism.truth_probability = float(1.0 / (1.0 + np.exp(-boosted)))
     return PreparedAudit(
         name="randomized-response",
         mechanism=mechanism,
@@ -154,12 +150,6 @@ def _exponential(
     )
     if noise_scale != 1.0:
         mechanism.scale = mechanism.scale / noise_scale
-
-    def sampler(dataset, size, rng):
-        return mechanism.output_distribution(list(dataset)).sample(
-            size=size, random_state=rng
-        )
-
     name = "exponential" if calibrated else "exponential-paper"
     note = (
         "McSherry–Talwar selection, modern ε-DP calibration"
@@ -172,7 +162,6 @@ def _exponential(
         pair=score_gap_pair(n),
         epsilon=mechanism.epsilon,
         kind="discrete",
-        sampler=sampler,
         note=note,
     )
 
@@ -228,19 +217,12 @@ def _gibbs(epsilon: float, n: int, noise_scale: float) -> PreparedAudit:
     mechanism = GibbsEstimator.from_privacy(grid, epsilon, expected_sample_size=n)
     if noise_scale != 1.0:
         mechanism.gibbs.temperature = mechanism.gibbs.temperature / noise_scale
-
-    def sampler(dataset, size, rng):
-        return mechanism.output_distribution(list(dataset)).sample(
-            size=size, random_state=rng
-        )
-
     return PreparedAudit(
         name="gibbs",
         mechanism=mechanism,
         pair=bit_flip_pair(n),
         epsilon=mechanism.epsilon,
         kind="discrete",
-        sampler=sampler,
         note="Theorem 4.1: the Gibbs posterior as a 2λΔ(R̂)-DP mechanism",
     )
 

@@ -341,7 +341,11 @@ class TestDisabledOverhead:
         The base-class hook costs one module read + a None check (~0.5 µs);
         on a release doing real work (a ~150 µs vectorized query over 64k
         records plus a Laplace draw) that is far below the 5% budget.
-        Interleaved min-of-trials cancels scheduler noise.
+        Interleaved min-of-trials cancels scheduler noise, alternating
+        which variant runs first so clock-ramp bias cancels too; on a
+        loaded box even the min can wobble past the budget, so the
+        comparison retries on progressively quieter samples before
+        failing.
         """
         mechanism = LaplaceMechanism(
             lambda d: float(np.log1p(np.abs(d)).sum()), 1.0, 1.0
@@ -359,8 +363,19 @@ class TestDisabledOverhead:
             return time.perf_counter() - start
 
         bare_times, wrapped_times = [], []
-        for _ in range(7):
-            bare_times.append(timed(bare))
-            wrapped_times.append(timed(wrapped))
-        assert current() is None  # the comparison measured the no-op path
-        assert min(wrapped_times) <= min(bare_times) * 1.05
+        for attempt in range(5):
+            for trial in range(8):
+                if trial % 2:
+                    wrapped_times.append(timed(wrapped))
+                    bare_times.append(timed(bare))
+                else:
+                    bare_times.append(timed(bare))
+                    wrapped_times.append(timed(wrapped))
+            assert current() is None  # measured the no-op path
+            if min(wrapped_times) <= min(bare_times) * 1.05:
+                return
+        pytest.fail(
+            f"disabled hook overhead "
+            f"{min(wrapped_times) / min(bare_times) - 1:.1%} exceeds 5% "
+            f"after {len(wrapped_times)} interleaved trials"
+        )

@@ -1,0 +1,80 @@
+"""Speedup smoke: vectorized ``release_many`` kernels beat the serial loop.
+
+The CI acceptance bar is a >= 5x advantage at n = 50,000 draws; the
+kernels actually land around 100x (Laplace) to 500x (exponential), so the
+margin here is wide enough to survive shared-runner noise. Serial cost is
+measured over a smaller draw count and scaled linearly — release() cost
+is draw-count-independent — to keep the smoke fast. The pytest-benchmark
+fixture times the batch path so the absolute kernel throughput shows up
+in the benchmark table alongside the asserted ratio.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import GaussianMechanism, LaplaceMechanism
+from repro.mechanisms.exponential import ExponentialMechanism
+
+BATCH_DRAWS = 50_000
+SERIAL_DRAWS = 2_000
+MIN_SPEEDUP = 5.0
+
+
+def _case(name):
+    if name == "laplace":
+        mechanism = LaplaceMechanism(
+            lambda d: float(np.sum(d)), sensitivity=1.0, epsilon=1.0
+        )
+    elif name == "gaussian":
+        mechanism = GaussianMechanism(
+            lambda d: float(np.sum(d)), 1.0, 1.0, 1e-6
+        )
+    else:
+        mechanism = ExponentialMechanism(
+            lambda d, u: -abs(sum(d) - u),
+            outputs=range(16),
+            sensitivity=1.0,
+            epsilon=1.0,
+        )
+    return mechanism, [0.1, 0.5, 0.9]
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("name", ["laplace", "gaussian", "exponential"])
+def test_release_many_is_at_least_5x_faster(benchmark, name):
+    mechanism, dataset = _case(name)
+    rng = np.random.default_rng(0)
+
+    benchmark.pedantic(
+        lambda: mechanism.release_many(dataset, BATCH_DRAWS, random_state=rng),
+        rounds=3,
+        iterations=1,
+    )
+    batch_seconds = _best_of(
+        lambda: mechanism.release_many(dataset, BATCH_DRAWS, random_state=rng)
+    )
+
+    def serial():
+        for _ in range(SERIAL_DRAWS):
+            mechanism.release(dataset, random_state=rng)
+
+    serial_seconds = _best_of(serial) * (BATCH_DRAWS / SERIAL_DRAWS)
+
+    speedup = serial_seconds / batch_seconds
+    assert speedup >= MIN_SPEEDUP, (
+        f"{name}: batch {batch_seconds * 1e3:.2f}ms vs projected serial "
+        f"{serial_seconds * 1e3:.1f}ms for {BATCH_DRAWS} draws — only "
+        f"{speedup:.1f}x, need >= {MIN_SPEEDUP}x"
+    )

@@ -1,0 +1,3 @@
+"""Benchmark suite package; see BENCH_*.json manifests for cached runs."""
+
+__all__: list[str] = []

@@ -46,8 +46,8 @@ def bench_case(epsilon, draws=100, seed=1, fano_n=3):
     )
     rng = np.random.default_rng(seed)
     sampler = TruncatedBetaBernoulliPosterior(epsilon=epsilon, truncation=0.05)
-    bayes_draws = np.array(
-        [sampler.release(data, random_state=rng) for _ in range(draws)]
+    bayes_draws = np.asarray(
+        sampler.release_many(data, draws, random_state=rng), dtype=float
     )
     gibbs = GibbsEstimator.from_privacy(grid, epsilon, N)
     # Batched draws from the (dataset-fixed) Gibbs posterior.
@@ -97,8 +97,9 @@ def test_e13_posterior_sampling_error(benchmark):
             sampler = TruncatedBetaBernoulliPosterior(
                 epsilon=eps, truncation=0.05
             )
-            bayes_draws = np.array(
-                [sampler.release(data, random_state=rng) for _ in range(SEEDS)]
+            bayes_draws = np.asarray(
+                sampler.release_many(data, SEEDS, random_state=rng),
+                dtype=float,
             )
             gibbs = GibbsEstimator.from_privacy(grid, eps, N)
             gibbs_draws = np.asarray(

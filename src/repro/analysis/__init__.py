@@ -3,15 +3,32 @@
 A self-contained AST-based linter enforcing the library's privacy
 invariants: RNG injection discipline, mandatory ε/δ/sensitivity
 validation, sanctioned-sampler usage, no silent exception swallowing,
-explicit ``__all__`` export surfaces, and documented parameter contracts.
+explicit ``__all__`` export surfaces, and documented parameter contracts —
+plus the whole-program ``dpflow`` rules (:mod:`repro.analysis.flow`):
+raw-data egress tracking, release accounting, ε drift, loop-release
+vectorization, exception taint, and dead-sanitizer detection.
 
-Run it as ``python -m repro.analysis src/repro`` or ``repro lint``; see
+Run it as ``python -m repro.analysis src/repro`` or ``repro lint``
+(``--jobs N`` for parallel analysis, ``--format sarif`` for code-scanning
+upload, ``--baseline`` for a committed allowlist); see
 ``docs/STATIC_ANALYSIS.md`` for the rule catalog and the DP failure mode
 each rule guards against.
 """
 
 from repro.analysis.base import ImportTracker, ModuleContext, Rule, dotted_name
-from repro.analysis.config import AnalysisConfig, RuleConfig
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    apply_baseline,
+    normalize_path,
+)
+from repro.analysis.config import (
+    AnalysisConfig,
+    RuleConfig,
+    config_from_mapping,
+    discover_pyproject,
+    load_pyproject_config,
+)
 from repro.analysis.engine import (
     AnalysisReport,
     Analyzer,
@@ -20,9 +37,11 @@ from repro.analysis.engine import (
     package_parts,
 )
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.parallel import analyze_paths_parallel, analyze_sources_parallel
 from repro.analysis.pragmas import (
     Pragma,
     SuppressionIndex,
+    nearest_rule_key,
     pragma_findings,
     scan_pragmas,
 )
@@ -34,11 +53,14 @@ from repro.analysis.reporting import (
     format_rule_catalog,
     format_text,
 )
+from repro.analysis.sarif import format_sarif, sarif_payload
 
 __all__ = [
     "AnalysisConfig",
     "AnalysisReport",
     "Analyzer",
+    "Baseline",
+    "BaselineEntry",
     "FORMATS",
     "Finding",
     "ImportTracker",
@@ -50,16 +72,26 @@ __all__ = [
     "SuppressionIndex",
     "all_rules",
     "analyze_paths",
+    "analyze_paths_parallel",
     "analyze_source",
+    "analyze_sources_parallel",
+    "apply_baseline",
+    "config_from_mapping",
+    "discover_pyproject",
     "dotted_name",
     "format_json",
     "format_report",
     "format_rule_catalog",
+    "format_sarif",
     "format_text",
     "get_rule",
     "known_rule_keys",
+    "load_pyproject_config",
+    "nearest_rule_key",
+    "normalize_path",
     "package_parts",
     "pragma_findings",
     "register",
+    "sarif_payload",
     "scan_pragmas",
 ]

@@ -14,9 +14,39 @@ import abc
 import ast
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.flow.project import ProjectModel
+
+#: Root package name used to resolve a file's location inside the library.
+PACKAGE_ROOT = "repro"
+
+
+def package_parts(path: str) -> tuple[str, ...]:
+    """Path components below the ``repro`` package root.
+
+    For ``/repo/src/repro/mechanisms/laplace.py`` this is
+    ``("mechanisms", "laplace.py")``. Synthetic relative paths used by the
+    rule unit tests (``"mechanisms/snippet.py"``) pass through unchanged,
+    so fixtures can target package-scoped rules without a real tree.
+
+    Parameters
+    ----------
+    path:
+        Absolute or relative path to a Python file.
+    """
+    parts = Path(path).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == PACKAGE_ROOT:
+            below = parts[index + 1 :]
+            if below:
+                return below
+    return parts
 
 
 def dotted_name(node: ast.AST) -> str | None:
@@ -92,6 +122,11 @@ class ModuleContext:
         (``"mechanisms/snippet.py"``) resolve the same way.
     config:
         Active analysis configuration.
+    project:
+        Whole-program :class:`~repro.analysis.flow.project.ProjectModel`
+        covering every module in the analyzed set. ``None`` only when a
+        rule is driven outside the engine; flow rules fall back to a
+        single-module project in that case.
     """
 
     path: str
@@ -99,6 +134,7 @@ class ModuleContext:
     source_lines: list[str]
     package_parts: tuple[str, ...]
     config: AnalysisConfig
+    project: "ProjectModel | None" = None
     _imports: ImportTracker | None = field(default=None, repr=False)
 
     @property
@@ -146,6 +182,9 @@ class Rule(abc.ABC):
     rationale: str = ""
     default_severity: Severity = Severity.ERROR
     default_options: dict = {}
+    #: Whole-program rules set this so the engine materializes a
+    #: :class:`~repro.analysis.flow.project.ProjectModel` before dispatch.
+    requires_project: bool = False
 
     @abc.abstractmethod
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
@@ -172,14 +211,17 @@ class Rule(abc.ABC):
         self, ctx: ModuleContext, node: ast.AST | None, message: str
     ) -> Finding:
         """Build a finding at ``node`` (or the module top when ``None``)."""
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        end_line = getattr(node, "end_lineno", None) if node is not None else None
         return Finding(
             path=ctx.path,
-            line=getattr(node, "lineno", 1) if node is not None else 1,
+            line=line,
             column=getattr(node, "col_offset", 0) if node is not None else 0,
             rule_id=self.id,
             rule_name=self.name,
             severity=ctx.config.severity_for(self.id, self.default_severity),
             message=message,
+            end_line=end_line if end_line is not None and end_line > line else None,
         )
 
 

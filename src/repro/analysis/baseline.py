@@ -1,0 +1,267 @@
+"""Committed suppression baseline for ``dplint``.
+
+A baseline file records *known, justified* findings so the lint gate can
+require the tree to be clean **modulo** an explicit, reviewed allowlist.
+Entries are keyed by ``(path, rule_id, message)`` — deliberately not by
+line number, so unrelated edits above a finding do not invalidate the
+baseline. Every entry must carry a non-empty justification; entries that
+no longer match anything are reported as *stale* so the file shrinks as
+debts are paid.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.base import PACKAGE_ROOT, package_parts
+from repro.analysis.engine import AnalysisReport
+from repro.analysis.findings import Finding
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BaselineEntry",
+    "Baseline",
+    "normalize_path",
+    "apply_baseline",
+]
+
+#: Schema marker written to / required from every baseline file.
+BASELINE_SCHEMA = "dplint-baseline/v1"
+
+
+def normalize_path(path: str) -> str:
+    """Stable path key for baseline matching.
+
+    Files under the ``repro`` package normalize to
+    ``"repro/<parts...>"`` regardless of checkout location or how the
+    analyzer was invoked; anything else falls back to the POSIX form of
+    the path as reported.
+
+    Parameters
+    ----------
+    path:
+        Finding path as produced by the analyzer.
+    """
+    parts = package_parts(path)
+    posix = Path(path).as_posix()
+    if "/".join(parts) != posix.lstrip("/"):
+        return "/".join((PACKAGE_ROOT, *parts))
+    return posix
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One allowlisted finding.
+
+    Parameters
+    ----------
+    path:
+        Normalized path (see :func:`normalize_path`).
+    rule_id:
+        Rule identifier, e.g. ``"DPL010"``.
+    message:
+        Exact finding message (messages are line-free by construction, so
+        they survive unrelated edits).
+    count:
+        How many identical findings this entry covers.
+    justification:
+        Why this finding is acceptable — required, non-empty.
+    """
+
+    path: str
+    rule_id: str
+    message: str
+    count: int = 1
+    justification: str = ""
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Matching key: normalized path, rule id, message."""
+        return (self.path, self.rule_id, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON representation used in the baseline file."""
+        return {
+            "path": self.path,
+            "rule_id": self.rule_id,
+            "message": self.message,
+            "count": self.count,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """A set of allowlisted findings loaded from (or bound for) disk."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read and validate a baseline file.
+
+        Parameters
+        ----------
+        path:
+            The baseline JSON file.
+        """
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read baseline {path}: {error}"
+            ) from error
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"baseline {path} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+            raise ConfigurationError(
+                f"baseline {path} must declare schema {BASELINE_SCHEMA!r}"
+            )
+        raw_entries = data.get("entries", [])
+        if not isinstance(raw_entries, list):
+            raise ConfigurationError(f"baseline {path}: entries must be a list")
+        entries = []
+        for position, raw in enumerate(raw_entries):
+            if not isinstance(raw, dict):
+                raise ConfigurationError(
+                    f"baseline {path}: entry {position} must be an object"
+                )
+            missing = {"path", "rule_id", "message"} - set(raw)
+            if missing:
+                raise ConfigurationError(
+                    f"baseline {path}: entry {position} lacks {sorted(missing)}"
+                )
+            justification = str(raw.get("justification", "")).strip()
+            if not justification:
+                raise ConfigurationError(
+                    f"baseline {path}: entry {position} "
+                    f"({raw['rule_id']} at {raw['path']}) has no "
+                    "justification; every baselined finding must say why "
+                    "it is acceptable"
+                )
+            count = raw.get("count", 1)
+            if not isinstance(count, int) or count < 1:
+                raise ConfigurationError(
+                    f"baseline {path}: entry {position} count must be a "
+                    "positive integer"
+                )
+            entries.append(
+                BaselineEntry(
+                    path=str(raw["path"]),
+                    rule_id=str(raw["rule_id"]),
+                    message=str(raw["message"]),
+                    count=count,
+                    justification=justification,
+                )
+            )
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline to ``path`` (stable key order, sorted entries).
+
+        Parameters
+        ----------
+        path:
+            Destination file.
+        """
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        *,
+        justifications: dict[tuple[str, str, str], str] | None = None,
+        default_justification: str = "baselined pre-existing finding",
+    ) -> "Baseline":
+        """Build a baseline covering ``findings``.
+
+        Parameters
+        ----------
+        findings:
+            The findings to allowlist.
+        justifications:
+            Optional per-key justification overrides (used to preserve
+            reviewed text when refreshing an existing baseline).
+        default_justification:
+            Placeholder for keys without an override; authors are expected
+            to replace it before committing.
+        """
+        counts: dict[tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = (normalize_path(finding.path), finding.rule_id, finding.message)
+            counts[key] = counts.get(key, 0) + 1
+        overrides = justifications or {}
+        entries = [
+            BaselineEntry(
+                path=path,
+                rule_id=rule_id,
+                message=message,
+                count=count,
+                justification=overrides.get(
+                    (path, rule_id, message), default_justification
+                ),
+            )
+            for (path, rule_id, message), count in counts.items()
+        ]
+        return cls(entries=sorted(entries, key=lambda e: e.key))
+
+
+def apply_baseline(report: AnalysisReport, baseline: Baseline) -> AnalysisReport:
+    """Filter a report through a baseline, tracking stale entries.
+
+    Each entry absorbs up to ``count`` identical findings; absorbed
+    findings move into ``baselined_count``. Entries that absorb nothing
+    are recorded in ``stale_baseline`` so the caller can demand the file
+    be re-trimmed (a stale entry means the debt was paid — keeping it
+    would let a regression sneak back in unnoticed).
+
+    Parameters
+    ----------
+    report:
+        The raw analyzer report.
+    baseline:
+        The loaded allowlist.
+    """
+    budget: dict[tuple[str, str, str], int] = {}
+    for entry in baseline.entries:
+        budget[entry.key] = budget.get(entry.key, 0) + entry.count
+    used: dict[tuple[str, str, str], int] = {key: 0 for key in budget}
+    kept: list[Finding] = []
+    absorbed = 0
+    for finding in report.findings:
+        key = (normalize_path(finding.path), finding.rule_id, finding.message)
+        if key in budget and used[key] < budget[key]:
+            used[key] += 1
+            absorbed += 1
+        else:
+            kept.append(finding)
+    stale = [
+        f"{key[1]} at {key[0]}: {key[2]}"
+        for key in sorted(budget)
+        if used[key] == 0
+    ]
+    return AnalysisReport(
+        findings=kept,
+        files_checked=report.files_checked,
+        suppressed_count=report.suppressed_count,
+        baselined_count=report.baselined_count + absorbed,
+        stale_baseline=report.stale_baseline + stale,
+    )

@@ -3,13 +3,30 @@
 Every rule ships usable defaults (see each rule's ``default_options``);
 :class:`AnalysisConfig` lets callers enable/disable rules, override a rule's
 severity, and override individual rule options without touching rule code.
+Configuration can also be loaded from a ``[tool.dplint]`` table in
+``pyproject.toml`` (:func:`load_pyproject_config`); unknown rule ids there —
+or in a programmatic :class:`AnalysisConfig` — raise
+:class:`~repro.exceptions.ConfigurationError` naming the bad id and its
+nearest valid neighbour instead of being silently ignored.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
 
 from repro.analysis.findings import Severity
+from repro.exceptions import ConfigurationError
+
+try:  # tomllib is stdlib from Python 3.11; no third-party fallback is baked in.
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python 3.10 CI leg
+    tomllib = None  # type: ignore[assignment]
+
+#: Whether TOML parsing (and hence pyproject discovery) is available.
+HAVE_TOML = tomllib is not None
 
 
 @dataclass
@@ -90,3 +107,196 @@ class AnalysisConfig:
         """The effective severity for a rule."""
         override = self.rule_config(rule_id).severity
         return default if override is None else override
+
+    def validate_rule_keys(self, known_keys: frozenset[str]) -> None:
+        """Fail loudly on unknown rule ids/names anywhere in this config.
+
+        A typo'd key in ``rules``, ``select``, or ``ignore`` would
+        otherwise configure nothing: the intended rule runs with pure
+        defaults (or never runs), and a CI gate passes vacuously.
+
+        Parameters
+        ----------
+        known_keys:
+            Every valid rule id and name (from the registry).
+        """
+        _reject_unknown_keys(self.rules, known_keys, where="rules")
+        _reject_unknown_keys(self.select, known_keys, where="select")
+        _reject_unknown_keys(self.ignore, known_keys, where="ignore")
+
+
+def _reject_unknown_keys(
+    keys: Iterable[str], known_keys: frozenset[str], *, where: str
+) -> None:
+    from repro.analysis.pragmas import nearest_rule_key
+
+    for key in sorted(keys):
+        if key in known_keys or key == "all":
+            continue
+        nearest = nearest_rule_key(key, known_keys)
+        hint = f"; did you mean {nearest!r}?" if nearest else ""
+        raise ConfigurationError(
+            f"unknown rule {key!r} in dplint config ({where}){hint} "
+            "— see `repro lint --list-rules` for the catalog"
+        )
+
+
+def config_from_mapping(
+    section: Mapping[str, Any], *, source: str = "[tool.dplint]"
+) -> AnalysisConfig:
+    """Build an :class:`AnalysisConfig` from a ``[tool.dplint]`` mapping.
+
+    Recognized keys: ``select`` / ``ignore`` (lists of rule ids or names),
+    ``require_pragma_justification`` (bool), ``exclude`` (extra path
+    components to skip), and a ``rules.<ID>`` table per rule with
+    ``enabled`` (bool), ``severity`` (``"info"``/``"warning"``/``"error"``),
+    and ``options`` (rule-specific overrides). Anything unknown — a stray
+    top-level key, a rule id that does not exist, a bad severity name —
+    raises :class:`~repro.exceptions.ConfigurationError` naming the
+    offender and, for rule keys, the nearest valid id.
+
+    Parameters
+    ----------
+    section:
+        The parsed ``[tool.dplint]`` table.
+    source:
+        Human-readable origin used in error messages.
+    """
+    from repro.analysis.registry import known_rule_keys
+
+    known = known_rule_keys()
+    allowed = {
+        "select",
+        "ignore",
+        "exclude",
+        "require_pragma_justification",
+        "rules",
+    }
+    stray = sorted(set(section) - allowed)
+    if stray:
+        raise ConfigurationError(
+            f"unknown key(s) {stray} in {source}; expected {sorted(allowed)}"
+        )
+
+    def string_list(name: str) -> frozenset[str]:
+        raw = section.get(name, [])
+        if not isinstance(raw, (list, tuple)) or not all(
+            isinstance(item, str) for item in raw
+        ):
+            raise ConfigurationError(
+                f"{source}: {name} must be a list of strings, got {raw!r}"
+            )
+        return frozenset(raw)
+
+    select = string_list("select")
+    ignore = string_list("ignore")
+    extra_exclude = string_list("exclude")
+
+    require = section.get("require_pragma_justification", True)
+    if not isinstance(require, bool):
+        raise ConfigurationError(
+            f"{source}: require_pragma_justification must be a bool, "
+            f"got {require!r}"
+        )
+
+    rules_table = section.get("rules", {})
+    if not isinstance(rules_table, Mapping):
+        raise ConfigurationError(
+            f"{source}: rules must be a table of per-rule settings"
+        )
+    rules: dict[str, RuleConfig] = {}
+    for rule_key, raw_rule in rules_table.items():
+        _reject_unknown_keys([rule_key], known, where=f"{source} rules")
+        if not isinstance(raw_rule, Mapping):
+            raise ConfigurationError(
+                f"{source}: rules.{rule_key} must be a table"
+            )
+        stray_rule = sorted(set(raw_rule) - {"enabled", "severity", "options"})
+        if stray_rule:
+            raise ConfigurationError(
+                f"{source}: unknown key(s) {stray_rule} in rules.{rule_key}"
+            )
+        enabled = raw_rule.get("enabled", True)
+        if not isinstance(enabled, bool):
+            raise ConfigurationError(
+                f"{source}: rules.{rule_key}.enabled must be a bool"
+            )
+        severity: Severity | None = None
+        if "severity" in raw_rule:
+            try:
+                severity = Severity.from_name(str(raw_rule["severity"]))
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"{source}: rules.{rule_key}.severity: {error}"
+                ) from None
+        options = raw_rule.get("options", {})
+        if not isinstance(options, Mapping):
+            raise ConfigurationError(
+                f"{source}: rules.{rule_key}.options must be a table"
+            )
+        # TOML arrays arrive as lists; rules expect hashable tuples.
+        normalized = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in options.items()
+        }
+        rules[rule_key] = RuleConfig(
+            enabled=enabled, severity=severity, options=dict(normalized)
+        )
+
+    config = AnalysisConfig(
+        rules=rules,
+        select=select,
+        ignore=ignore,
+        exclude_parts=AnalysisConfig().exclude_parts | extra_exclude,
+        require_pragma_justification=require,
+    )
+    config.validate_rule_keys(known)
+    return config
+
+
+def load_pyproject_config(path: str | Path) -> AnalysisConfig | None:
+    """Load dplint configuration from a ``pyproject.toml`` file.
+
+    Returns ``None`` when the file has no ``[tool.dplint]`` table, so
+    callers can fall back to pure defaults; malformed TOML or an invalid
+    table raises :class:`~repro.exceptions.ConfigurationError`.
+
+    Parameters
+    ----------
+    path:
+        Path to a ``pyproject.toml``.
+    """
+    path = Path(path)
+    if tomllib is None:
+        raise ConfigurationError(
+            "reading pyproject.toml needs the stdlib tomllib (Python >= 3.11)"
+        )
+    try:
+        data = tomllib.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ConfigurationError(f"cannot read {path}: {error}") from error
+    except tomllib.TOMLDecodeError as error:
+        raise ConfigurationError(f"{path} is not valid TOML: {error}") from error
+    section = data.get("tool", {}).get("dplint")
+    if section is None:
+        return None
+    if not isinstance(section, Mapping):
+        raise ConfigurationError(f"{path}: [tool.dplint] must be a table")
+    return config_from_mapping(section, source=f"{path} [tool.dplint]")
+
+
+def discover_pyproject(start: str | Path | None = None) -> Path | None:
+    """Nearest ``pyproject.toml`` at or above ``start`` (default: cwd).
+
+    Parameters
+    ----------
+    start:
+        Directory to begin the upward walk from.
+    """
+    directory = Path(start) if start is not None else Path.cwd()
+    directory = directory.resolve()
+    for candidate in (directory, *directory.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None

@@ -59,6 +59,11 @@ class Finding:
         The finding's :class:`Severity`.
     message:
         One-line description of what is wrong and how to fix it.
+    end_line:
+        Last 1-based line of the offending construct (``None`` when the
+        construct is single-line). Suppression pragmas on *any* physical
+        line of the span waive the finding, so a pragma on a continuation
+        line of a multi-line call still works.
     """
 
     path: str
@@ -68,6 +73,12 @@ class Finding:
     rule_name: str = field(compare=False)
     severity: Severity = field(compare=False)
     message: str = field(compare=False)
+    end_line: int | None = field(compare=False, default=None)
+
+    @property
+    def line_span(self) -> tuple[int, int]:
+        """First and last physical line covered by this finding."""
+        return self.line, max(self.line, self.end_line or self.line)
 
     @property
     def location(self) -> str:
@@ -80,6 +91,7 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "column": self.column,
+            "end_line": self.end_line,
             "rule_id": self.rule_id,
             "rule_name": self.rule_name,
             "severity": str(self.severity),

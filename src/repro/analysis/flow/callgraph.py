@@ -1,0 +1,151 @@
+"""Intra-package call graph over the parsed project.
+
+Nodes are fully-qualified function names (``repro.core.bayes.fit`` or
+``repro.privacy.audit.Auditor.run``); edges are syntactic call sites
+resolved through :class:`~repro.analysis.flow.symbols.ProjectSymbols`.
+``self.method(...)`` calls resolve within the enclosing class. The graph
+is deliberately conservative: unresolvable calls simply produce no edge,
+so rules that consult callers/callees treat absence as "unknown", never
+as proof of a violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.base import dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.analysis.flow.project import ProjectModel
+
+__all__ = ["CallSite", "CallGraph", "qualified_functions"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge.
+
+    Parameters
+    ----------
+    caller:
+        Qualified name of the function containing the call.
+    callee:
+        Qualified name of the function being called.
+    line:
+        1-based line of the call expression.
+    """
+
+    caller: str
+    callee: str
+    line: int
+
+
+def qualified_functions(
+    project: "ProjectModel",
+) -> dict[str, tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Every function in the project keyed by qualified name.
+
+    The value pairs the defining module's dotted name with the function
+    node, so callers can recover the module context of any graph node.
+
+    Parameters
+    ----------
+    project:
+        The parsed project to index.
+    """
+    table: dict[str, tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]] = {}
+    for info in project.modules:
+        if info.tree is None:
+            continue
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                table[f"{info.name}.{node.name}"] = (info.name, node)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        table[f"{info.name}.{node.name}.{item.name}"] = (
+                            info.name,
+                            item,
+                        )
+    return table
+
+
+@dataclass
+class CallGraph:
+    """Caller/callee adjacency over qualified function names."""
+
+    edges: tuple[CallSite, ...] = ()
+    _callees: dict[str, set[str]] = field(default_factory=dict, repr=False)
+    _callers: dict[str, set[str]] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def build(cls, project: "ProjectModel") -> "CallGraph":
+        """Resolve every call site in the project into a graph.
+
+        Parameters
+        ----------
+        project:
+            The parsed project to walk.
+        """
+        symbols = project.symbols
+        functions = qualified_functions(project)
+        sites: list[CallSite] = []
+        for qualname, (module_name, func) in functions.items():
+            class_prefix = qualname[len(module_name) + 1 :].rpartition(".")[0]
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = cls._resolve_call(
+                    node, module_name, class_prefix, symbols, functions
+                )
+                if callee is not None:
+                    sites.append(
+                        CallSite(caller=qualname, callee=callee, line=node.lineno)
+                    )
+        graph = cls(edges=tuple(sites))
+        for site in sites:
+            graph._callees.setdefault(site.caller, set()).add(site.callee)
+            graph._callers.setdefault(site.callee, set()).add(site.caller)
+        return graph
+
+    @staticmethod
+    def _resolve_call(
+        node: ast.Call,
+        module_name: str,
+        class_prefix: str,
+        symbols: "object",
+        functions: dict[str, tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]],
+    ) -> str | None:
+        # self.method(...) → method of the enclosing class.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+            and class_prefix
+        ):
+            candidate = f"{module_name}.{class_prefix}.{node.func.attr}"
+            return candidate if candidate in functions else None
+        written = dotted_name(node.func)
+        if written is None:
+            return None
+        symbol = symbols.resolve(module_name, written)  # type: ignore[attr-defined]
+        if symbol is None:
+            return None
+        qualname = str(symbol.qualname)
+        # Calling a class means running its __init__ — keep the class node
+        # itself as the callee so "did my callers charge?" checks see it.
+        return qualname if qualname in functions or symbol.kind == "class" else None
+
+    def callees(self, qualname: str) -> frozenset[str]:
+        """Functions directly called by ``qualname``."""
+        return frozenset(self._callees.get(qualname, ()))
+
+    def callers(self, qualname: str) -> frozenset[str]:
+        """Functions that directly call ``qualname``."""
+        return frozenset(self._callers.get(qualname, ()))
+
+    def neighborhood(self, qualname: str) -> frozenset[str]:
+        """The function itself plus its direct callers and callees."""
+        return frozenset({qualname}) | self.callers(qualname) | self.callees(qualname)

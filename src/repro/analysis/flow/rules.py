@@ -1,0 +1,509 @@
+"""Flow rules DPL007–DPL012: whole-program privacy dataflow checks.
+
+These rules run on top of the taint engine
+(:mod:`repro.analysis.flow.taint`) and the project model
+(:mod:`repro.analysis.flow.project`). Where the DPL001–DPL006 rules police
+local idioms, the flow rules trace *values*: raw records reaching an
+egress point, releases that bypass the privacy accountant, budgets that
+drift between construction and accounting, and privatized results that are
+thrown away.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+
+from repro.analysis.base import ModuleContext, Rule, dotted_name
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.flow.callgraph import qualified_functions
+from repro.analysis.flow.project import (
+    ProjectModel,
+    module_name_for,
+    single_module_project,
+)
+from repro.analysis.flow.taint import (
+    FunctionTaintAnalysis,
+    TaintOptions,
+    dead_sanitizer_assignments,
+    iter_function_defs,
+)
+from repro.analysis.registry import register
+
+#: Option keys shared by every taint-driven rule; values mirror
+#: :class:`~repro.analysis.flow.taint.TaintOptions` defaults.
+_TAINT_OPTION_KEYS = (
+    "source_params",
+    "source_call_prefixes",
+    "source_methods",
+    "source_attributes",
+    "sanitizer_methods",
+    "sanitizer_call_prefixes",
+    "pure_callables",
+    "metadata_attributes",
+)
+_TAINT_DEFAULTS = {
+    key: getattr(TaintOptions(), key) for key in _TAINT_OPTION_KEYS
+}
+
+
+class FlowRule(Rule):
+    """Base class for whole-program rules: project access + taint setup."""
+
+    requires_project = True
+
+    def project_for(self, ctx: ModuleContext) -> ProjectModel:
+        """The whole-program model, or a one-module fallback.
+
+        Parameters
+        ----------
+        ctx:
+            The module under analysis.
+        """
+        if ctx.project is not None:
+            return ctx.project
+        return single_module_project(ctx.tree, ctx.path, ctx.source_lines)
+
+    def canonicalizer(self, ctx: ModuleContext) -> Callable[[str], str]:
+        """Name-canonicalization function for the module under analysis.
+
+        Parameters
+        ----------
+        ctx:
+            The module under analysis.
+        """
+        project = self.project_for(ctx)
+        module_name = module_name_for(ctx.package_parts)
+        if project.module(module_name) is not None:
+            symbols = project.symbols
+            return lambda name: symbols.canonicalize(module_name, name)
+        return ctx.imports.resolve
+
+    def taint_options(self, ctx: ModuleContext) -> TaintOptions:
+        """Taint configuration assembled from this rule's options.
+
+        Parameters
+        ----------
+        ctx:
+            The module under analysis.
+        """
+        values = {
+            key: tuple(self.option(ctx, key))
+            for key in _TAINT_OPTION_KEYS
+            if key in self.default_options
+        }
+        return TaintOptions(**values)
+
+
+@register
+class RawDataEgressRule(FlowRule):
+    """DPL007: raw records must pass a DP release before leaving the program."""
+
+    id = "DPL007"
+    name = "raw-data-egress"
+    description = (
+        "Values derived from raw records must be declassified by a DP "
+        "release before reaching print/logging/file/ledger sinks."
+    )
+    rationale = (
+        "Every un-noised statistic that escapes to stdout, a log stream, a "
+        "ledger payload, or a file is an unbounded privacy loss: the "
+        "epsilon ledger says one thing while the process leaks the raw "
+        "empirical risk (Mir 2012's information channel with no noise)."
+    )
+    default_severity = Severity.ERROR
+    default_options = {
+        "packages": ("", "experiments", "testing", "privacy", "serving"),
+        # Sink kinds this rule enforces; "return" sinks are gated separately
+        # because experiments legitimately return data-derived aggregates.
+        "sinks": ("print", "logging", "file-write", "ledger"),
+        "return_sink_packages": ("serving",),
+        **_TAINT_DEFAULTS,
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for tainted values reaching egress sinks."""
+        if not self.applies_to(ctx):
+            return
+        sinks = set(self.option(ctx, "sinks"))
+        if ctx.package in set(self.option(ctx, "return_sink_packages")):
+            sinks.add("return")
+        options = self.taint_options(ctx)
+        canonicalize = self.canonicalizer(ctx)
+        for _, func in iter_function_defs(ctx.tree):
+            analysis = FunctionTaintAnalysis(func, options, canonicalize)
+            for event in analysis.iter_sink_events():
+                if event.kind not in sinks:
+                    continue
+                yield self.finding(
+                    ctx,
+                    event.node,
+                    f"raw data from {event.label.describe()} reaches "
+                    f"{event.detail} without a DP release; privatize with "
+                    "release()/release_many() before egress",
+                )
+
+
+@register
+class UnaccountedReleaseRule(FlowRule):
+    """DPL008: releases near an accountant must be charged to it."""
+
+    id = "DPL008"
+    name = "unaccounted-release"
+    description = (
+        "A function holding a privacy accountant that calls release() "
+        "must charge the spend (here, or in a direct caller/callee)."
+    )
+    rationale = (
+        "An accountant that is in scope but never charged is worse than no "
+        "accountant: the composition bound it reports certifies spends "
+        "that never reached it, so the reported epsilon understates the "
+        "true loss."
+    )
+    default_severity = Severity.ERROR
+    default_options = {
+        "accountant_param_markers": ("accountant", "acct"),
+        "accountant_constructors": ("PrivacyAccountant",),
+        "release_methods": ("release", "release_many"),
+        "charge_methods": ("charge", "run"),
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for uncharged releases near an accountant."""
+        project = self.project_for(ctx)
+        module_name = module_name_for(ctx.package_parts)
+        functions = qualified_functions(project)
+        graph = project.callgraph
+        release_methods = set(self.option(ctx, "release_methods"))
+        charge_methods = set(self.option(ctx, "charge_methods"))
+        for display_name, func in iter_function_defs(ctx.tree):
+            if not self._has_accountant(func, ctx):
+                continue
+            releases = [
+                node
+                for node in ast.walk(func)
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in release_methods
+            ]
+            if not releases:
+                continue
+            qualname = f"{module_name}.{display_name}"
+            neighborhood = graph.neighborhood(qualname)
+            charged = any(
+                self._charges(functions[member][1], charge_methods)
+                for member in neighborhood
+                if member in functions
+            ) or self._charges(func, charge_methods)
+            if charged:
+                continue
+            for release in releases:
+                yield self.finding(
+                    ctx,
+                    release,
+                    "release() with a privacy accountant in scope but no "
+                    "charge()/run() in this function or its direct "
+                    "callers/callees; charge the spend or use "
+                    "accountant.run(mechanism, dataset)",
+                )
+
+    def _has_accountant(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef, ctx: ModuleContext
+    ) -> bool:
+        markers = tuple(self.option(ctx, "accountant_param_markers"))
+        constructors = set(self.option(ctx, "accountant_constructors"))
+        args = func.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if any(marker in arg.arg for marker in markers):
+                return True
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                written = dotted_name(node.value.func)
+                if written is None:
+                    continue
+                resolved = ctx.imports.resolve(written)
+                if resolved.rsplit(".", 1)[-1] in constructors:
+                    return True
+        return False
+
+    @staticmethod
+    def _charges(func: ast.AST, charge_methods: set[str]) -> bool:
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in charge_methods
+            ):
+                return True
+        return False
+
+
+@register
+class EpsilonDriftRule(FlowRule):
+    """DPL009: the charged epsilon must match the mechanism's epsilon."""
+
+    id = "DPL009"
+    name = "epsilon-drift"
+    description = (
+        "Within one function, the epsilon a mechanism is constructed with "
+        "must equal the epsilon charged via PrivacySpec."
+    )
+    rationale = (
+        "When the mechanism adds noise for eps=1.0 but the ledger is "
+        "charged eps=0.5, the accountant's composition bound is simply "
+        "false — the classic copy-paste drift after tuning one of the two "
+        "numbers."
+    )
+    default_severity = Severity.WARNING
+    default_options = {
+        "spec_constructors": ("PrivacySpec",),
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings where constructed and charged epsilons differ."""
+        spec_names = set(self.option(ctx, "spec_constructors"))
+        for _, func in iter_function_defs(ctx.tree):
+            constants = self._local_constants(func)
+            mech_eps: dict[float, ast.Call] = {}
+            spec_eps: dict[float, ast.Call] = {}
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                written = dotted_name(node.func)
+                if written is None:
+                    continue
+                callee = written.rsplit(".", 1)[-1]
+                value = self._epsilon_argument(node, constants)
+                if value is None:
+                    continue
+                if callee in spec_names:
+                    spec_eps.setdefault(value, node)
+                elif callee[:1].isupper():
+                    mech_eps.setdefault(value, node)
+            if not mech_eps or not spec_eps:
+                continue
+            if set(mech_eps) == set(spec_eps):
+                continue
+            anchor = next(iter(spec_eps.values()))
+            yield self.finding(
+                ctx,
+                anchor,
+                "epsilon drift: mechanism constructed with epsilon "
+                f"{sorted(mech_eps)} but PrivacySpec charges epsilon "
+                f"{sorted(spec_eps)}; the accounted budget must match the "
+                "noise actually added",
+            )
+
+    @staticmethod
+    def _local_constants(func: ast.AST) -> dict[str, float]:
+        constants: dict[str, float] = {}
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, (int, float))
+                and not isinstance(node.value.value, bool)
+            ):
+                constants[node.targets[0].id] = float(node.value.value)
+        return constants
+
+    @staticmethod
+    def _epsilon_argument(
+        node: ast.Call, constants: dict[str, float]
+    ) -> float | None:
+        for keyword in node.keywords:
+            if keyword.arg != "epsilon":
+                continue
+            value = keyword.value
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, (int, float)
+            ):
+                return float(value.value)
+            if isinstance(value, ast.Name):
+                return constants.get(value.id)
+        return None
+
+
+@register
+class ScalarReleaseInLoopRule(FlowRule):
+    """DPL010: loop-invariant scalar releases should be release_many."""
+
+    id = "DPL010"
+    name = "scalar-release-in-loop"
+    description = (
+        "A .release() call inside a loop that does not depend on the loop "
+        "variable should be one vectorized release_many() call."
+    )
+    rationale = (
+        "n scalar releases re-validate and re-trace n times; release_many "
+        "draws the same noise stream in one vectorized call "
+        "(bit-identical by the mechanism contract) and records one span "
+        "instead of n."
+    )
+    default_severity = Severity.WARNING
+    default_options = {
+        "release_methods": ("release",),
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for loop-invariant scalar releases."""
+        release_methods = set(self.option(ctx, "release_methods"))
+        for _, func in iter_function_defs(ctx.tree):
+            parents = {
+                child: parent
+                for parent in ast.walk(func)
+                for child in ast.iter_child_nodes(parent)
+            }
+            for node in ast.walk(func):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in release_methods
+                ):
+                    continue
+                loop_names = self._innermost_loop_names(node, func, parents)
+                if loop_names is None:
+                    continue  # not inside any loop
+                if not (loop_names & self._names(node)):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "loop-invariant scalar .release() call; one "
+                        ".release_many(dataset, n) draw is stream-identical "
+                        "and amortizes validation and tracing",
+                    )
+
+    @staticmethod
+    def _innermost_loop_names(
+        call: ast.Call, func: ast.AST, parents: dict[ast.AST, ast.AST]
+    ) -> set[str] | None:
+        """Binding names of the nearest enclosing for-loop/comprehension.
+
+        Returns ``None`` when the call sits outside any loop (while loops
+        are deliberately not counted — their trip count is rarely a batch
+        size). Judging invariance against the *innermost* loop only keeps
+        a per-item release inside a comprehension from being blamed on an
+        unrelated outer loop.
+
+        Parameters
+        ----------
+        call:
+            The release call being classified.
+        func:
+            The enclosing function definition (walk boundary).
+        parents:
+            Child → parent map for the function body.
+        """
+        comp_types = (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        node: ast.AST = call
+        while node is not func:
+            parent = parents.get(node)
+            if parent is None:
+                return None
+            if isinstance(parent, (ast.For, ast.AsyncFor)) and node is not parent.iter:
+                return ScalarReleaseInLoopRule._names(parent.target)
+            if isinstance(parent, ast.comprehension):
+                via_first_iter = node is parent.iter
+                comp_clause = parent
+                expr = parents.get(parent)
+                if expr is None or not isinstance(expr, comp_types):
+                    return None
+                if (
+                    via_first_iter
+                    and expr.generators
+                    and expr.generators[0] is comp_clause
+                ):
+                    # The first generator's iterable is evaluated once,
+                    # before iteration starts — keep looking further out.
+                    node = expr
+                    continue
+                names: set[str] = set()
+                for generator in expr.generators:
+                    names |= ScalarReleaseInLoopRule._names(generator.target)
+                return names
+            if isinstance(parent, comp_types):
+                names = set()
+                for generator in parent.generators:
+                    names |= ScalarReleaseInLoopRule._names(generator.target)
+                return names
+            node = parent
+        return None
+
+    @staticmethod
+    def _names(node: ast.AST) -> set[str]:
+        return {
+            child.id for child in ast.walk(node) if isinstance(child, ast.Name)
+        }
+
+
+@register
+class TaintThroughExceptionRule(FlowRule):
+    """DPL011: raw records must not be embedded in exception messages."""
+
+    id = "DPL011"
+    name = "taint-through-exception"
+    description = (
+        "Values derived from raw records must not flow into raised "
+        "exception messages."
+    )
+    rationale = (
+        "Exception text is the egress channel nobody audits: it lands in "
+        "pytest output, CI logs, and crash reports. A validation error "
+        "that interpolates the offending record republishes the data the "
+        "mechanism was supposed to protect."
+    )
+    default_severity = Severity.WARNING
+    default_options = dict(_TAINT_DEFAULTS)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for tainted values reaching raise statements."""
+        options = self.taint_options(ctx)
+        canonicalize = self.canonicalizer(ctx)
+        for _, func in iter_function_defs(ctx.tree):
+            analysis = FunctionTaintAnalysis(func, options, canonicalize)
+            for event in analysis.iter_sink_events():
+                if event.kind != "raise":
+                    continue
+                yield self.finding(
+                    ctx,
+                    event.node,
+                    f"raw data from {event.label.describe()} flows into a "
+                    "raised exception message; describe the violation "
+                    "without embedding records",
+                )
+
+
+@register
+class DeadSanitizerRule(FlowRule):
+    """DPL012: a DP release whose result is discarded wastes budget."""
+
+    id = "DPL012"
+    name = "dead-sanitizer"
+    description = (
+        "The result of a release()/release_many() call must be used; a "
+        "discarded release still spends privacy budget."
+    )
+    rationale = (
+        "A release whose output is never read is pure privacy loss: the "
+        "noise was drawn, the budget (if accounted) was charged, and "
+        "nothing was learned. Almost always a refactoring leftover."
+    )
+    default_severity = Severity.WARNING
+    default_options = dict(_TAINT_DEFAULTS)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for discarded release results."""
+        options = self.taint_options(ctx)
+        canonicalize = self.canonicalizer(ctx)
+        for _, func in iter_function_defs(ctx.tree):
+            analysis = FunctionTaintAnalysis(func, options, canonicalize)
+            for call in dead_sanitizer_assignments(func, analysis):
+                yield self.finding(
+                    ctx,
+                    call,
+                    "DP release result is never used; the privacy budget "
+                    "is spent with no utility — use the value or delete "
+                    "the call",
+                )

@@ -9,6 +9,7 @@ findings — those cannot be suppressed.
 
 from __future__ import annotations
 
+import difflib
 import io
 import re
 import tokenize
@@ -54,22 +55,49 @@ class SuppressionIndex:
 
     pragmas: dict[int, Pragma] = field(default_factory=dict)
 
-    def suppresses(self, line: int, rule_keys: frozenset[str]) -> bool:
-        """Whether a finding on ``line`` for any key in ``rule_keys`` is
-        suppressed by a pragma on that line.
+    def suppresses(
+        self, line: int, rule_keys: frozenset[str], end_line: int | None = None
+    ) -> bool:
+        """Whether a finding spanning ``line``..``end_line`` for any key in
+        ``rule_keys`` is suppressed by a pragma on one of those lines.
+
+        Multi-line constructs (a call whose arguments wrap, a comprehension
+        split for readability) are suppressible from any physical line of
+        the span, so the pragma can sit on the continuation line where the
+        offending argument actually lives.
 
         Parameters
         ----------
         line:
-            1-based finding line.
+            First 1-based finding line.
         rule_keys:
             The finding's rule id and name (both accepted in pragmas).
+        end_line:
+            Last 1-based line of the construct (defaults to ``line``).
         """
-        pragma = self.pragmas.get(line)
-        if pragma is None:
-            return False
-        listed = set(pragma.rules)
-        return "all" in listed or bool(listed & set(rule_keys))
+        last = max(line, end_line or line)
+        for candidate in range(line, last + 1):
+            pragma = self.pragmas.get(candidate)
+            if pragma is None:
+                continue
+            listed = set(pragma.rules)
+            if "all" in listed or listed & set(rule_keys):
+                return True
+        return False
+
+
+def nearest_rule_key(key: str, known_keys: frozenset[str]) -> str | None:
+    """Closest valid rule id/name to a mistyped ``key`` (``None`` if far off).
+
+    Parameters
+    ----------
+    key:
+        The unknown rule id or name as written.
+    known_keys:
+        Every valid rule id and name.
+    """
+    matches = difflib.get_close_matches(key, sorted(known_keys), n=1, cutoff=0.4)
+    return matches[0] if matches else None
 
 
 def scan_pragmas(source: str) -> SuppressionIndex:
@@ -129,6 +157,12 @@ def pragma_findings(
             key for key in pragma.rules if key != "all" and key not in known_keys
         ]
         if unknown:
+            hints = []
+            for key in unknown:
+                nearest = nearest_rule_key(key, known_keys)
+                hints.append(
+                    f"{key!r}" + (f" (did you mean {nearest!r}?)" if nearest else "")
+                )
             findings.append(
                 Finding(
                     path=path,
@@ -138,7 +172,7 @@ def pragma_findings(
                     rule_name=PRAGMA_RULE_NAME,
                     severity=Severity.WARNING,
                     message=(
-                        f"pragma disables unknown rule(s) {unknown}; "
+                        f"pragma disables unknown rule(s) {', '.join(hints)}; "
                         "check the rule catalog"
                     ),
                 )

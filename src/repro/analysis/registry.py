@@ -22,6 +22,7 @@ _RULE_MODULES = (
     "repro.analysis.rules.exceptions",
     "repro.analysis.rules.exports",
     "repro.analysis.rules.docstrings",
+    "repro.analysis.flow.rules",
 )
 
 

@@ -1,4 +1,4 @@
-"""Text and JSON renderers for :class:`~repro.analysis.engine.AnalysisReport`."""
+"""Text, JSON, and SARIF renderers for ``dplint`` reports."""
 
 from __future__ import annotations
 
@@ -6,10 +6,11 @@ import json
 
 from repro.analysis.engine import AnalysisReport
 from repro.analysis.registry import all_rules
+from repro.analysis.sarif import format_sarif
 from repro.exceptions import ValidationError
 
 #: Output formats accepted by the CLI.
-FORMATS = ("text", "json")
+FORMATS = ("text", "json", "sarif")
 
 
 def format_text(report: AnalysisReport) -> str:
@@ -25,20 +26,24 @@ def format_text(report: AnalysisReport) -> str:
     summary = ", ".join(
         f"{counts[name]} {name}" for name in ("error", "warning", "info") if name in counts
     )
+    hidden = []
+    if report.suppressed_count:
+        hidden.append(f"{report.suppressed_count} suppressed")
+    if report.baselined_count:
+        hidden.append(f"{report.baselined_count} baselined")
+    hidden_note = f" ({', '.join(hidden)})" if hidden else ""
     if report.ok:
         lines.append(
             f"dplint: {report.files_checked} file(s) checked, no findings"
-            + (
-                f" ({report.suppressed_count} suppressed)"
-                if report.suppressed_count
-                else ""
-            )
+            + hidden_note
         )
     else:
         lines.append(
             f"dplint: {report.files_checked} file(s) checked, "
-            f"{len(report.findings)} finding(s): {summary}"
+            f"{len(report.findings)} finding(s): {summary}{hidden_note}"
         )
+    for entry in report.stale_baseline:
+        lines.append(f"dplint: stale baseline entry (fixed? remove it): {entry}")
     return "\n".join(lines)
 
 
@@ -53,6 +58,8 @@ def format_json(report: AnalysisReport) -> str:
     payload = {
         "files_checked": report.files_checked,
         "suppressed": report.suppressed_count,
+        "baselined": report.baselined_count,
+        "stale_baseline": list(report.stale_baseline),
         "ok": report.ok,
         "summary": {
             "by_severity": report.count_by_severity(),
@@ -77,6 +84,8 @@ def format_report(report: AnalysisReport, fmt: str = "text") -> str:
         return format_text(report)
     if fmt == "json":
         return format_json(report)
+    if fmt == "sarif":
+        return format_sarif(report)
     raise ValidationError(f"unknown format {fmt!r}; expected one of {FORMATS}")
 
 

@@ -247,9 +247,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: the installed "
         "repro package)",
     )
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
     lint.add_argument("--select", action="append", default=[], metavar="RULE")
     lint.add_argument("--ignore", action="append", default=[], metavar="RULE")
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze files across N processes (output identical to serial)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline JSON file",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings to FILE as a suppression baseline",
+    )
+    lint.add_argument(
+        "--config",
+        metavar="FILE",
+        help="read [tool.dplint] from this pyproject.toml",
+    )
+    lint.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore any pyproject.toml [tool.dplint] section",
+    )
     lint.add_argument(
         "--list-rules",
         action="store_true",

@@ -155,5 +155,7 @@ class TruncatedBetaBernoulliPosterior(Mechanism):
                            random_state=None) -> float:
         """Monte-Carlo MSE of released samples around a known truth."""
         rng = check_random_state(random_state)
-        draws = np.array([self.release(data, random_state=rng) for _ in range(n_samples)])
+        draws = np.asarray(
+            self.release_many(data, n_samples, random_state=rng), dtype=float
+        )
         return float(((draws - float(truth)) ** 2).mean())

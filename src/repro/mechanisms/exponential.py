@@ -101,9 +101,12 @@ class ExponentialMechanism(Mechanism):
             [float(self.quality(dataset, u)) for u in self.outputs], dtype=float
         )
         if not np.isfinite(scores).all():
+            # Deliberately data-free message: the offending scores are
+            # functions of the raw dataset and must not reach logs.
             raise ValidationError(
-                "quality scores must be finite; got "
-                f"{scores[~np.isfinite(scores)][:3].tolist()} ..."
+                "quality scores must be finite; at least one candidate "
+                "score is nan/inf — check the quality function for "
+                "overflow or division by zero"
             )
         return scores
 

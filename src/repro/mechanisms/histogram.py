@@ -61,8 +61,11 @@ class PrivateHistogram(Mechanism):
         for record in records:
             index = self._index.get(record)
             if index is None:
+                # Data-free message: records are raw inputs and must not
+                # leak into exceptions; the category list is public config.
                 raise ValidationError(
-                    f"record {record!r} is not in the category list"
+                    "record is not in the category list; expected one of "
+                    f"{list(self.categories)!r}"
                 )
             counts[index] += 1
         return counts

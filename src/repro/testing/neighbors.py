@@ -44,9 +44,11 @@ class NeighborPair:
     def validate(self) -> "NeighborPair":
         """Check the substitution relation; return self for chaining."""
         if not is_neighbour(self.a, self.b):
+            # Data-free message: the pair contents are (synthetic) datasets;
+            # keep dataset values out of exception text on principle.
             raise ValidationError(
-                f"datasets are not neighbours under substitution: "
-                f"{self.a!r} vs {self.b!r}"
+                "datasets are not neighbours under substitution: they must "
+                "have equal length and differ in exactly one position"
             )
         return self
 

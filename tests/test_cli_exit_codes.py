@@ -55,7 +55,18 @@ class TestLintExitCodes:
     def test_clean_tree_exits_zero(self):
         import repro
 
-        assert main(["lint", str(next(iter(repro.__path__)))]) == 0
+        baseline = REPO_ROOT / "benchmarks" / "dplint_baseline.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    "--baseline",
+                    str(baseline),
+                    str(next(iter(repro.__path__))),
+                ]
+            )
+            == 0
+        )
 
     def test_findings_exit_one(self, tmp_path):
         assert main(["lint", str(_violating_file(tmp_path))]) == 1

@@ -70,6 +70,7 @@ class DocstringParametersRule(Rule):
             "analysis",
             "testing",
             "observability",
+            "serving",
         ),
         # Parameters section required from this many documentable params.
         "min_params": 2,

@@ -53,6 +53,7 @@ class NoSilentExceptRule(Rule):
             "analysis",
             "testing",
             "observability",
+            "serving",
         ),
     }
 

@@ -47,6 +47,7 @@ class RngDisciplineRule(Rule):
             "learning",
             "testing",
             "observability",
+            "serving",
         ),
         # Files allowed to touch numpy.random directly: the single
         # sanctioned Generator factory.

@@ -44,6 +44,7 @@ class NoNaiveSamplingRule(Rule):
             "core",
             "testing",
             "observability",
+            "serving",
         ),
         # RNG method names whose direct use is reserved to the sanctioned
         # sampler modules.

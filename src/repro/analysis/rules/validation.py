@@ -62,6 +62,7 @@ class ValidatePrivacyParamsRule(Rule):
             "privacy",
             "testing",
             "observability",
+            "serving",
         ),
         "param_names": ("epsilon", "delta", "sensitivity"),
         # Call targets (matched on the final dotted segment) that count as

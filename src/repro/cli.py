@@ -33,6 +33,16 @@ Commands
 ``lint``
     Run dplint, the bundled static analyzer for differential-privacy
     invariants, over the source tree.
+``serve``
+    Live demo of the serving front door: a small client fleet against
+    the budget-enforcing, batching :class:`ReleaseService` on the real
+    clock, summarized when it finishes.
+``loadtest``
+    The deterministic load-test harness: a seeded simulated-clock fleet,
+    a schema-versioned ``LOADTEST_<id>.json`` report, and optionally a
+    batched-vs-unbatched speedup comparison. Exit code 0 when the run is
+    clean, 1 when any tenant over-spent or any batch failed, 2 on usage
+    errors.
 ``trace``
     Validate and pretty-print a trace JSON document written by
     ``bench``/``audit`` ``--trace-json`` (span tree, counters, and the
@@ -238,6 +248,49 @@ def _build_parser() -> argparse.ArgumentParser:
     release.add_argument("--p", type=float, default=0.8)
     release.add_argument("--seed", type=int, default=0)
 
+    serve = sub.add_parser(
+        "serve",
+        help="live demo of the serving front door on the real clock",
+    )
+    _add_workload_flags(serve)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="deterministic simulated-clock load test writing "
+        "LOADTEST_<id>.json",
+    )
+    _add_workload_flags(loadtest)
+    loadtest.add_argument(
+        "--output-dir",
+        default="loadtest_results",
+        help="directory receiving LOADTEST_<id>.json "
+        "(default: loadtest_results)",
+    )
+    loadtest.add_argument(
+        "--compare-unbatched",
+        action="store_true",
+        help="also run the workload with batching disabled and report "
+        "the wall-clock speedup batching delivered",
+    )
+    loadtest.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default=None,
+        help="compare this run's wall seconds against the "
+        "LOADTEST_<id> entry of a committed perf_baseline.json; "
+        "exit 1 on regression",
+    )
+    loadtest.add_argument(
+        "--tolerance",
+        type=float,
+        default=5.0,
+        help="largest acceptable measured/baseline slowdown ratio for "
+        "--compare (default: 5.0 — CI runner speeds vary widely)",
+    )
+    loadtest.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+
     lint = sub.add_parser(
         "lint", help="run the dplint static analyzer over the source tree"
     )
@@ -285,6 +338,232 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog and exit",
     )
     return parser
+
+
+def _add_workload_flags(subparser) -> None:
+    """Attach the shared serving-workload flags (``serve``/``loadtest``).
+
+    Parameters
+    ----------
+    subparser:
+        The ``serve`` or ``loadtest`` argparse subparser.
+    """
+    subparser.add_argument(
+        "--id", default="smoke", dest="loadtest_id",
+        help="workload id stamped on the report (default: smoke)",
+    )
+    subparser.add_argument("--clients", type=int, default=8)
+    subparser.add_argument("--requests-per-client", type=int, default=4)
+    subparser.add_argument("--tenants", type=int, default=2)
+    subparser.add_argument("--seed", type=int, default=0)
+    subparser.add_argument(
+        "--mechanism", choices=("laplace", "exponential"), default="laplace"
+    )
+    subparser.add_argument(
+        "--epsilon", type=float, default=0.05, help="per-release ε"
+    )
+    subparser.add_argument(
+        "--budget", type=float, default=50.0, help="per-tenant ε budget"
+    )
+    subparser.add_argument(
+        "--shards", type=int, default=4, help="accountant shards per tenant"
+    )
+    subparser.add_argument(
+        "--candidates", type=int, default=64,
+        help="candidate-range size for --mechanism exponential",
+    )
+    subparser.add_argument(
+        "--mean-think", type=float, default=0.01,
+        help="mean client think time in clock seconds",
+    )
+    subparser.add_argument("--flush-window", type=float, default=0.02)
+    subparser.add_argument("--max-batch", type=int, default=256)
+    subparser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request clock timeout in seconds",
+    )
+    subparser.add_argument(
+        "--retries", type=int, default=0, help="batch retry budget"
+    )
+    subparser.add_argument(
+        "--no-batching", action="store_true",
+        help="serve every request as its own immediate batch",
+    )
+
+
+def _workload_spec(args):
+    """Build a :class:`LoadTestSpec` from parsed workload flags."""
+    from repro.serving import LoadTestSpec
+
+    return LoadTestSpec(
+        loadtest_id=args.loadtest_id,
+        clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        tenants=args.tenants,
+        seed=args.seed,
+        mechanism=args.mechanism,
+        epsilon=args.epsilon,
+        budget_epsilon=args.budget,
+        shards=args.shards,
+        candidates=args.candidates,
+        mean_think=args.mean_think,
+        flush_window=args.flush_window,
+        max_batch=args.max_batch,
+        request_timeout=args.timeout,
+        max_retries=args.retries,
+        batching=not args.no_batching,
+    )
+
+
+def _summarize_workload(report, title) -> None:
+    """Print the run summary table shared by ``serve`` and ``loadtest``."""
+    from repro.experiments import ResultTable
+
+    deterministic = report["deterministic"]
+    serving = deterministic["serving"]
+    table = ResultTable(
+        ["requests", "flushes", "released", "timeouts", "refusals",
+         "failures"],
+        title=title,
+    )
+    table.add_row(
+        deterministic["requests"],
+        serving["flushes"],
+        serving["released"],
+        serving["timeouts"],
+        serving["refusals"],
+        serving["batch_failures"],
+    )
+    print(table)
+    tenant_table = ResultTable(
+        ["tenant", "budget ε", "spent ε", "over-spend"],
+        title="Tenant budgets",
+    )
+    for tenant in deterministic["tenants"]:
+        tenant_table.add_row(
+            tenant["tenant_id"],
+            tenant["budget_epsilon"],
+            round(tenant["spent_epsilon"], 6),
+            "YES" if tenant["over_spend"] else "no",
+        )
+    print(tenant_table)
+    wall = report["wall_clock"]
+    print(
+        f"wall clock: {wall['seconds']:.4f}s "
+        f"({wall['requests_per_second']:.0f} req/s)"
+    )
+
+
+def _workload_ok(report) -> bool:
+    """Whether a run is clean: no tenant over-spend, no failed batch."""
+    deterministic = report["deterministic"]
+    over = any(t["over_spend"] for t in deterministic["tenants"])
+    return not over and deterministic["serving"]["batch_failures"] == 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.exceptions import ValidationError
+    from repro.serving import run_loadtest
+
+    try:
+        spec = _workload_spec(args)
+        report = run_loadtest(spec, simulated=False)
+    except ValidationError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    _summarize_workload(
+        report, f"Serving demo (real clock, id={spec.loadtest_id})"
+    )
+    return 0 if _workload_ok(report) else 1
+
+
+def _cmd_loadtest(args) -> int:
+    import json
+
+    from repro.exceptions import ValidationError
+    from repro.serving import measure_speedup, run_loadtest, write_report
+
+    try:
+        spec = _workload_spec(args)
+        if args.compare_unbatched:
+            report, unbatched, speedup = measure_speedup(spec)
+        else:
+            report, unbatched, speedup = run_loadtest(spec), None, None
+        path = write_report(report, args.output_dir)
+    except ValidationError as error:
+        print(f"loadtest: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        _summarize_workload(
+            report, f"Load test (simulated clock, id={spec.loadtest_id})"
+        )
+    print(f"load-test report written: {path}", file=sys.stderr)
+    if speedup is not None:
+        print(
+            f"batching speedup: {speedup:.2f}x "
+            f"(unbatched {unbatched['wall_clock']['seconds']:.4f}s vs "
+            f"batched {report['wall_clock']['seconds']:.4f}s)",
+            file=sys.stderr,
+        )
+    if not _workload_ok(report):
+        print(
+            "loadtest FAILED: tenant over-spend or batch failures detected",
+            file=sys.stderr,
+        )
+        return 1
+    if args.compare is not None:
+        return _loadtest_compare(args, spec, report)
+    return 0
+
+
+def _loadtest_compare(args, spec, report) -> int:
+    """Gate a load-test run's wall seconds against the perf baseline."""
+    from repro.exceptions import ValidationError
+    from repro.experiments import load_baseline
+
+    if args.tolerance <= 0:
+        print("loadtest: --tolerance must be > 0", file=sys.stderr)
+        return 2
+    try:
+        baseline = load_baseline(args.compare)
+    except ValidationError as error:
+        print(f"loadtest: {error}", file=sys.stderr)
+        return 2
+    key = f"LOADTEST_{spec.loadtest_id}"
+    entry = baseline.experiments.get(key)
+    if entry is None:
+        print(
+            f"loadtest: baseline {args.compare} has no {key!r} entry",
+            file=sys.stderr,
+        )
+        return 2
+    measured = report["wall_clock"]["seconds"]
+    requests = report["deterministic"]["requests"]
+    if entry.get("configurations", 0) != requests:
+        print(
+            f"loadtest PERF GATE: workload changed ({requests} requests vs "
+            f"{entry.get('configurations', 0)} in the baseline); "
+            f"re-baseline {key}",
+            file=sys.stderr,
+        )
+        return 1
+    ratio = measured / entry["seconds"]
+    if ratio > args.tolerance:
+        print(
+            f"loadtest PERF REGRESSION: {measured:.4f}s is "
+            f"{ratio:.2f}x the committed {entry['seconds']:.4f}s "
+            f"(tolerance {args.tolerance:g}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"loadtest perf OK: {measured:.4f}s vs baseline "
+        f"{entry['seconds']:.4f}s ({ratio:.2f}x <= {args.tolerance:g}x)",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _add_trace_flags(subparser) -> None:
@@ -755,6 +1034,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "tradeoff": _cmd_tradeoff,
     "release": _cmd_release,
+    "serve": _cmd_serve,
+    "loadtest": _cmd_loadtest,
     "lint": _cmd_lint,
 }
 

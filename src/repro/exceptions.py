@@ -58,6 +58,24 @@ class NotFittedError(ReproError):
     """A model or estimator was used before being fitted."""
 
 
+class ServingError(ReproError):
+    """A serving-layer failure (batch execution, clock driver, drain)."""
+
+
+class ServingTimeoutError(ServingError):
+    """A serving request exceeded its per-request clock timeout.
+
+    The reservation charged at admission is refunded whenever the request
+    was still queued (nothing released); a request that timed out while
+    its batch was already executing keeps its charge — the release may
+    have happened, and the ledger must never under-count one that did.
+    """
+
+
+class ServiceClosedError(ServingError):
+    """A request was submitted to (or aborted by) a shut-down service."""
+
+
 class DPAuditError(ReproError, AssertionError):
     """A statistical audit certified a violation of a claimed DP guarantee.
 

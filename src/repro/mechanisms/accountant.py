@@ -12,16 +12,28 @@ re-folding the whole ledger — O(n²) over a run of n releases — as the
 original implementation did. Every charge and every refusal also emits a
 typed event on the active privacy ledger (:mod:`repro.observability`), so
 an exported trace reconstructs the accountant's spend exactly.
+
+The accountant is **thread-safe**: the affordability check and the ledger
+mutation happen atomically under one internal lock, so concurrent callers
+(the :mod:`repro.serving` front door charges from many client coroutines
+and load-test threads) can never both pass ``can_afford`` and jointly
+overshoot the budget — a textbook check-then-act race the serving layer's
+concurrency tests hammer for explicitly.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.exceptions import PrivacyBudgetError, ValidationError
 from repro.mechanisms.base import Mechanism, PrivacySpec
 from repro.observability import tracer as _trace
-from repro.observability.events import BudgetChargeEvent, BudgetRefusalEvent
+from repro.observability.events import (
+    BudgetChargeEvent,
+    BudgetRefundEvent,
+    BudgetRefusalEvent,
+)
 
 #: Relative slack on budget comparisons, as a fraction of the budget
 #: itself. A *flat* tolerance (the previous ``1e-12``) is wrong at both
@@ -55,6 +67,9 @@ class PrivacyAccountant:
     budget: PrivacySpec
     _ledger: list[LedgerEntry] = field(default_factory=list)
     _spent: PrivacySpec | None = field(default=None, init=False, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not isinstance(self.budget, PrivacySpec):
@@ -74,23 +89,67 @@ class PrivacyAccountant:
     @property
     def remaining_epsilon(self) -> float:
         """Unspent ε under basic composition."""
-        return self.budget.epsilon - (self._spent.epsilon if self._spent else 0.0)
+        spent = self._spent
+        return self.budget.epsilon - (spent.epsilon if spent else 0.0)
 
     @property
     def remaining_delta(self) -> float:
         """Unspent δ under basic composition."""
-        return self.budget.delta - (self._spent.delta if self._spent else 0.0)
+        spent = self._spent
+        return self.budget.delta - (spent.delta if spent else 0.0)
 
     def can_afford(self, spec: PrivacySpec) -> bool:
-        """Whether a further release with ``spec`` stays within budget."""
+        """Whether a further release with ``spec`` stays within budget.
+
+        This read is advisory under concurrency: another thread may charge
+        between this check and yours. Use :meth:`charge` (or
+        :meth:`try_charge`), whose check-and-record is atomic.
+        """
         return (
             spec.epsilon <= self.remaining_epsilon + BUDGET_RTOL * self.budget.epsilon
             and spec.delta <= self.remaining_delta + BUDGET_RTOL * self.budget.delta
         )
 
+    def try_charge(self, spec: PrivacySpec, *, label: str = "release") -> bool:
+        """Atomically record an expenditure if affordable; report success.
+
+        Unlike :meth:`charge`, an unaffordable spec returns ``False``
+        *silently* — no exception, no refusal event. This is the primitive
+        a sharded accountant needs to probe several shards for capacity:
+        only the caller knows whether exhausting one shard is a refusal or
+        just a reason to try the next.
+
+        Parameters
+        ----------
+        spec:
+            The (ε, δ) expenditure to attempt.
+        label:
+            Ledger label recorded with the expenditure.
+        """
+        if not isinstance(spec, PrivacySpec):
+            raise ValidationError("spec must be a PrivacySpec")
+        with self._lock:
+            if not self.can_afford(spec):
+                return False
+            self._ledger.append(LedgerEntry(label=label, spec=spec))
+            self._spent = spec if self._spent is None else self._spent.compose(spec)
+        tracer = _trace.current()
+        if tracer is not None:
+            tracer.record(
+                BudgetChargeEvent(
+                    label=label,
+                    epsilon=spec.epsilon,
+                    delta=spec.delta,
+                    remaining_epsilon=self.remaining_epsilon,
+                    remaining_delta=self.remaining_delta,
+                )
+            )
+            tracer.count("accountant.charges")
+        return True
+
     def charge(self, spec: PrivacySpec, *, label: str = "release") -> None:
         """Record an expenditure, or raise :class:`PrivacyBudgetError`."""
-        if not self.can_afford(spec):
+        if not self.try_charge(spec, label=label):
             tracer = _trace.current()
             if tracer is not None:
                 tracer.record(
@@ -107,12 +166,52 @@ class PrivacyAccountant:
                 f"cannot afford {spec}: remaining budget is "
                 f"(ε={self.remaining_epsilon:.6g}, δ={self.remaining_delta:.3g})"
             )
-        self._ledger.append(LedgerEntry(label=label, spec=spec))
-        self._spent = spec if self._spent is None else self._spent.compose(spec)
+
+    def refund(self, spec: PrivacySpec, *, label: str = "release") -> None:
+        """Hand back a previously-recorded charge (a rolled-back reservation).
+
+        Removes the most recent ledger entry matching ``(label, spec)``
+        and subtracts it from the running total. Refunds exist for
+        reservation-style callers (the serving layer charges *before* a
+        batch executes and rolls back when the batch provably released
+        nothing); refunding a charge whose release actually happened would
+        falsify the privacy accounting, so only ever call this for work
+        that did not run. A refund with no matching charge raises
+        :class:`~repro.exceptions.ValidationError`.
+
+        Parameters
+        ----------
+        spec:
+            The exact (ε, δ) of the charge being rolled back.
+        label:
+            The label the charge was recorded under.
+        """
+        if not isinstance(spec, PrivacySpec):
+            raise ValidationError("spec must be a PrivacySpec")
+        with self._lock:
+            index = None
+            for position in range(len(self._ledger) - 1, -1, -1):
+                entry = self._ledger[position]
+                if entry.label == label and entry.spec == spec:
+                    index = position
+                    break
+            if index is None:
+                raise ValidationError(
+                    f"no recorded charge {spec} labelled {label!r} to refund"
+                )
+            del self._ledger[index]
+            # Refold the (short) ledger rather than subtracting: refunds
+            # are rare failure-path events, and refolding keeps the
+            # running total exactly equal to the composition of the
+            # entries that remain — no drift, no negative residue.
+            spent = None
+            for entry in self._ledger:
+                spent = entry.spec if spent is None else spent.compose(entry.spec)
+            self._spent = spent
         tracer = _trace.current()
         if tracer is not None:
             tracer.record(
-                BudgetChargeEvent(
+                BudgetRefundEvent(
                     label=label,
                     epsilon=spec.epsilon,
                     delta=spec.delta,
@@ -120,7 +219,7 @@ class PrivacyAccountant:
                     remaining_delta=self.remaining_delta,
                 )
             )
-            tracer.count("accountant.charges")
+            tracer.count("accountant.refunds")
 
     def run(self, mechanism: Mechanism, dataset, *, label: str | None = None,
             random_state=None):
@@ -132,4 +231,5 @@ class PrivacyAccountant:
 
     def ledger(self) -> list[LedgerEntry]:
         """A copy of the recorded expenditures, in order."""
-        return list(self._ledger)
+        with self._lock:
+            return list(self._ledger)

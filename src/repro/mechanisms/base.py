@@ -205,6 +205,18 @@ class Mechanism(abc.ABC):
         single aggregated event. Override with a numpy kernel that
         consumes the RNG stream exactly as the loop would.
 
+        Because the loop produces real releases one at a time, a draw
+        that raises mid-batch leaves the earlier draws *done* — noise
+        consumed, mechanism state mutated — while the aggregated event in
+        :meth:`release_many` is never reached. Serial traced ``release``
+        calls would each have recorded an event, so the looped fallback
+        under an active trace used to under-report ``count`` in
+        :func:`~repro.observability.events.ledger_totals` whenever a
+        batch failed part-way. The fallback therefore emits the same
+        aggregated event itself for the draws that completed before
+        re-raising: the ledger never under-counts a release that
+        actually happened.
+
         Parameters
         ----------
         dataset:
@@ -216,7 +228,27 @@ class Mechanism(abc.ABC):
         """
         release = type(self).release
         release = getattr(release, "__wrapped__", release)
-        return [release(self, dataset, random_state=rng) for _ in range(n)]
+        outputs = []
+        try:
+            for _ in range(n):
+                outputs.append(release(self, dataset, random_state=rng))
+        except BaseException:
+            tracer = _trace.current()
+            if tracer is not None and outputs:
+                spec = self.privacy
+                mechanism = type(self).__name__
+                tracer.record(
+                    MechanismReleaseEvent(
+                        label=mechanism,
+                        epsilon=spec.epsilon,
+                        delta=spec.delta,
+                        mechanism=mechanism,
+                        count=len(outputs),
+                    )
+                )
+                tracer.count("mechanism.releases", len(outputs))
+            raise
+        return outputs
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self._privacy})"

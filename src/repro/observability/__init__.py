@@ -22,6 +22,7 @@ it on with the :func:`tracing` context manager, or from the CLI via
 
 from repro.observability.events import (
     BudgetChargeEvent,
+    BudgetRefundEvent,
     BudgetRefusalEvent,
     CalibrationEvent,
     LedgerEvent,
@@ -49,6 +50,7 @@ from repro.observability.tracer import (
 
 __all__ = [
     "BudgetChargeEvent",
+    "BudgetRefundEvent",
     "BudgetRefusalEvent",
     "CalibrationEvent",
     "ConsoleSink",

@@ -24,6 +24,7 @@ from repro.exceptions import ValidationError
 
 __all__ = [
     "BudgetChargeEvent",
+    "BudgetRefundEvent",
     "BudgetRefusalEvent",
     "CalibrationEvent",
     "LedgerEvent",
@@ -105,6 +106,35 @@ class BudgetChargeEvent(LedgerEvent):
 
 
 @dataclass(frozen=True)
+class BudgetRefundEvent(LedgerEvent):
+    """A previously-recorded charge handed back to the accountant.
+
+    Refunds model *reservations that were rolled back* — a serving layer
+    reserves budget before executing a batch and refunds it when the batch
+    fails or times out before anything was released. A refund never makes
+    the ledger under-count an actual release: callers may only refund a
+    charge whose release provably did not happen.
+
+    In :func:`ledger_totals`, refund events *subtract* their (ε, δ) when
+    the ``"refund"`` kind is included, so
+    ``ledger_totals(events, kinds=("charge", "refund"))`` reproduces the
+    accountant's net spend exactly.
+
+    Parameters
+    ----------
+    remaining_epsilon:
+        Unspent ε *after* this refund was applied.
+    remaining_delta:
+        Unspent δ after this refund was applied.
+    """
+
+    kind: ClassVar[str] = "refund"
+
+    remaining_epsilon: float = 0.0
+    remaining_delta: float = 0.0
+
+
+@dataclass(frozen=True)
 class BudgetRefusalEvent(LedgerEvent):
     """A charge the accountant refused: the budget would have been exceeded.
 
@@ -149,6 +179,7 @@ EVENT_KINDS: dict[str, type[LedgerEvent]] = {
     for cls in (
         MechanismReleaseEvent,
         BudgetChargeEvent,
+        BudgetRefundEvent,
         BudgetRefusalEvent,
         CalibrationEvent,
         LedgerEvent,
@@ -192,7 +223,9 @@ def ledger_totals(
         Iterable of :class:`LedgerEvent` (or their dict forms).
     kinds:
         Event kinds to include; defaults to accountant charges only, so
-        the total reproduces exactly what the accountant recorded.
+        the total reproduces exactly what the accountant recorded. Add
+        ``"refund"`` to net out rolled-back reservations (refund events
+        contribute negatively).
     """
     epsilon_total = 0.0
     delta_total = 0.0
@@ -201,6 +234,10 @@ def ledger_totals(
             event = event_from_dict(event)
         if event.kind in kinds:
             count = getattr(event, "count", 1)
-            epsilon_total += count * event.epsilon
-            delta_total += count * event.delta
+            # Refunds hand budget back: they enter the composition with a
+            # negative sign, so ("charge", "refund") reproduces the
+            # accountant's *net* spend after rolled-back reservations.
+            sign = -1.0 if event.kind == "refund" else 1.0
+            epsilon_total += sign * count * event.epsilon
+            delta_total += sign * count * event.delta
     return (epsilon_total, delta_total)

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.observability",
     "repro.privacy",
     "repro.private_learning",
+    "repro.serving",
     "repro.testing",
     "repro.utils",
 ]

@@ -7,15 +7,31 @@ flag), because silent acceptance of any of these would void the privacy
 or correctness story.
 """
 
+import asyncio
+
 import numpy as np
 import pytest
 
 from repro.core import GibbsEstimator, GibbsPosterior
 from repro.distributions import DiscreteDistribution
-from repro.exceptions import ConvergenceError, ValidationError
+from repro.exceptions import (
+    ConvergenceError,
+    ServiceClosedError,
+    ServingError,
+    ServingTimeoutError,
+    ValidationError,
+)
 from repro.learning import BernoulliTask, PredictorGrid, gradient_descent
-from repro.mechanisms import ExponentialMechanism
+from repro.mechanisms import ExponentialMechanism, Mechanism, PrivacySpec
+from repro.observability import Tracer, tracing
 from repro.privacy import ExactPrivacyAuditor
+from repro.serving import (
+    ReleaseService,
+    ServiceConfig,
+    SimulatedClock,
+    TenantRegistry,
+)
+from repro.utils.validation import check_random_state
 
 
 class TestUnderstatedSensitivity:
@@ -171,3 +187,179 @@ class TestNumericalEdges:
         estimator = GibbsEstimator.from_privacy(grid, 1e-9, 10)
         dist = estimator.output_distribution([1] * 10)
         assert dist.entropy() == pytest.approx(np.log(3), abs=1e-6)
+
+
+class FlakyMechanism(Mechanism):
+    """Test double whose ``release`` raises on chosen draw indices.
+
+    It deliberately does *not* override ``_release_many``, so batch
+    flushes run the base fallback loop — the path where a mid-batch
+    exception leaves earlier draws done and must still be accounted.
+    """
+
+    def __init__(self, fail_on=(), epsilon=0.5):
+        super().__init__(PrivacySpec(epsilon))
+        self.fail_on = set(fail_on)
+        self.calls = 0
+
+    def release(self, dataset, random_state=None):
+        rng = check_random_state(random_state)
+        self.calls += 1
+        if self.calls in self.fail_on:
+            raise RuntimeError("injected mid-batch failure")
+        return float(rng.normal())
+
+
+FLAKY_DATASET = [0.25, 0.75]
+
+
+def flaky_service(clock, mechanism, *, budget=10.0, **config):
+    """One-tenant service fronting an injected-fault mechanism."""
+    registry = TenantRegistry()
+    registry.register("alice", PrivacySpec(budget), seed=13, shards=2)
+    service = ReleaseService(
+        registry, clock=clock, config=ServiceConfig(**config)
+    )
+    service.add_mechanism("flaky", mechanism)
+    return service
+
+
+class TestServingFaultInjection:
+    """The serving front door under injected faults.
+
+    Reservation semantics under test: a charge rolls back exactly when
+    the release provably did not happen (failed batch, queued timeout,
+    abort), every rollback leaves a refund event on the ledger, and the
+    failure itself surfaces as a raised error — never a silent drop.
+    """
+
+    def test_mid_batch_exception_refunds_and_fails_loud(self):
+        """A flush that dies mid-loop must refund every rider, fail every
+        future with ServingError, and still ledger the draw that
+        completed before the fault (the mechanism ran — once)."""
+        clock = SimulatedClock()
+        mechanism = FlakyMechanism(fail_on={2})
+        service = flaky_service(clock, mechanism, flush_window=0.01)
+        tracer = Tracer("fault-mid-batch")
+
+        async def main():
+            return await asyncio.gather(
+                *(
+                    service.submit("alice", "flaky", FLAKY_DATASET)
+                    for _ in range(3)
+                ),
+                return_exceptions=True,
+            )
+
+        with tracing(tracer):
+            results = clock.run(main())
+        assert all(isinstance(r, ServingError) for r in results)
+        assert all("batch flush failed" in str(r) for r in results)
+        accountant = service.registry.get("alice").accountant
+        assert accountant.spent_epsilon == 0.0
+        refunds = [e for e in tracer.events if e.kind == "refund"]
+        assert len(refunds) == 3
+        assert tracer.metrics.counter("serving.batch_failures") == 3
+        # The draw before the injected fault really happened; the partial
+        # aggregated release event keeps the mechanism ledger honest.
+        releases = [e for e in tracer.events if e.kind == "release"]
+        assert sum(e.count for e in releases) == 1
+
+    def test_retry_recovers_with_a_reseeded_generator(self):
+        """With retry budget, the second attempt draws from a re-derived
+        generator, succeeds, and the reservation stands — no refunds."""
+        clock = SimulatedClock()
+        mechanism = FlakyMechanism(fail_on={2})
+        service = flaky_service(
+            clock, mechanism, flush_window=0.01, max_retries=1
+        )
+        tracer = Tracer("fault-retry")
+
+        async def main():
+            return await asyncio.gather(
+                *(
+                    service.submit("alice", "flaky", FLAKY_DATASET)
+                    for _ in range(3)
+                )
+            )
+
+        with tracing(tracer):
+            results = clock.run(main())
+        assert [len(piece) for piece in results] == [1, 1, 1]
+        assert tracer.metrics.counter("serving.retries") == 1
+        assert tracer.metrics.counter("serving.batch_failures") == 0
+        accountant = service.registry.get("alice").accountant
+        assert accountant.spent_epsilon == pytest.approx(3 * 0.5)
+        assert not [e for e in tracer.events if e.kind == "refund"]
+
+    def test_exhausted_retries_still_roll_back(self):
+        """A mechanism that fails every attempt exhausts the retry budget
+        and the rollback contract holds exactly as with no retries."""
+        clock = SimulatedClock()
+        # Fails on every call: attempt 0 and both retries.
+        mechanism = FlakyMechanism(fail_on=set(range(1, 100)))
+        service = flaky_service(
+            clock, mechanism, flush_window=0.01, max_retries=2
+        )
+        tracer = Tracer("fault-exhausted")
+
+        async def main():
+            with pytest.raises(ServingError, match="after 3 attempt"):
+                await service.submit("alice", "flaky", FLAKY_DATASET)
+
+        with tracing(tracer):
+            clock.run(main())
+        assert tracer.metrics.counter("serving.retries") == 2
+        assert service.registry.get("alice").accountant.spent_epsilon == 0.0
+        assert len([e for e in tracer.events if e.kind == "refund"]) == 1
+
+    def test_timeout_while_queued_refunds_the_reservation(self):
+        """A request whose timeout fires before its window flushes was
+        provably never released: refund, refusal-grade ledger trail, and
+        the mechanism must never have run."""
+        clock = SimulatedClock()
+        mechanism = FlakyMechanism()
+        service = flaky_service(
+            clock, mechanism, flush_window=0.5, request_timeout=0.01
+        )
+        tracer = Tracer("fault-timeout")
+
+        async def main():
+            with pytest.raises(ServingTimeoutError):
+                await service.submit("alice", "flaky", FLAKY_DATASET)
+            return clock.now()
+
+        with tracing(tracer):
+            elapsed = clock.run(main())
+        assert elapsed == pytest.approx(0.01)
+        assert mechanism.calls == 0
+        assert service.registry.get("alice").accountant.spent_epsilon == 0.0
+        assert tracer.metrics.counter("serving.timeouts") == 1
+        assert len([e for e in tracer.events if e.kind == "refund"]) == 1
+
+    def test_abort_during_flush_window_refunds_queued_requests(self):
+        """Shutdown racing an open window: abort() must refund the queued
+        reservation and fail the rider with ServiceClosedError before
+        any release happens."""
+        clock = SimulatedClock()
+        mechanism = FlakyMechanism()
+        service = flaky_service(clock, mechanism, flush_window=10.0)
+        tracer = Tracer("fault-abort")
+
+        async def main():
+            pending = asyncio.ensure_future(
+                service.submit("alice", "flaky", FLAKY_DATASET)
+            )
+            await asyncio.sleep(0)  # let the submit reserve and enqueue
+            await service.abort()
+            with pytest.raises(ServiceClosedError):
+                await pending
+            return clock.now()
+
+        with tracing(tracer):
+            elapsed = clock.run(main())
+        assert elapsed == 0.0
+        assert mechanism.calls == 0
+        assert service.registry.get("alice").accountant.spent_epsilon == 0.0
+        assert tracer.metrics.counter("serving.aborted") == 1
+        assert len([e for e in tracer.events if e.kind == "refund"]) == 1

@@ -178,6 +178,58 @@ class TestBatchTracing:
         assert len(batch_tracer.events) == 1
         assert len(serial_tracer.events) == n
 
+    def test_fallback_partial_batch_still_reports_completed_draws(self):
+        # Regression: a draw raising mid-batch used to abort release_many
+        # before the aggregated event was recorded, so the k draws that
+        # DID happen (noise consumed, state mutated) vanished from
+        # ledger_totals — an under-count of real releases. The fallback
+        # now emits the aggregated event for the completed draws before
+        # re-raising.
+        class FlakyMechanism(Mechanism):
+            def __init__(self, fail_at):
+                super().__init__(PrivacySpec(epsilon=0.5))
+                self.fail_at = fail_at
+                self.calls = 0
+
+            def release(self, dataset, random_state=None):
+                self.calls += 1
+                if self.calls == self.fail_at:
+                    raise RuntimeError("injected mid-batch failure")
+                rng = (
+                    random_state
+                    if isinstance(random_state, np.random.Generator)
+                    else np.random.default_rng(random_state)
+                )
+                return float(rng.uniform())
+
+        mechanism = FlakyMechanism(fail_at=3)
+        with tracing() as tracer:
+            with pytest.raises(RuntimeError, match="mid-batch"):
+                mechanism.release_many(None, 5, random_state=7)
+        # Exactly one aggregated event covering the 2 completed draws.
+        assert [e.kind for e in tracer.events] == ["release"]
+        assert tracer.events[0].count == 2
+        assert tracer.events[0].epsilon == 0.5
+        assert ledger_totals(tracer.events, kinds=("release",)) == (1.0, 0.0)
+        assert tracer.metrics.counter("mechanism.releases") == 2
+
+    def test_fallback_failure_on_first_draw_emits_nothing(self):
+        # Nothing was released, so nothing may be recorded — a count=0
+        # event would be as wrong as a missing one.
+        class ImmediateFailure(Mechanism):
+            def __init__(self):
+                super().__init__(PrivacySpec(epsilon=1.0))
+
+            def release(self, dataset, random_state=None):
+                raise RuntimeError("fails immediately")
+
+        mechanism = ImmediateFailure()
+        with tracing() as tracer:
+            with pytest.raises(RuntimeError):
+                mechanism.release_many(None, 4, random_state=0)
+        assert tracer.events == []
+        assert tracer.metrics.counter("mechanism.releases") == 0
+
     def test_fallback_loop_emits_no_per_draw_events(self):
         # SmoothSensitivityMedian has no vectorized kernel: the base-class
         # fallback loops the *untraced* release, so even a looped batch

@@ -17,6 +17,8 @@ Three guarantees, per the observability layer's design contract:
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -37,6 +39,7 @@ from repro.mechanisms import (
 from repro.mechanisms.quantile import ExponentialQuantile
 from repro.observability import Tracer, current, ledger_totals, tracing
 from repro.privacy.local import KRandomizedResponse, UnaryEncoding
+from repro.serving import ShardedAccountant
 from repro.testing import AUDIT_FAMILIES, build_audit
 
 
@@ -194,6 +197,136 @@ class TestLedgerAccountantAgreement:
         assert event.epsilon == 2.0
         assert event.temperature == temperature
         assert event.n == 100
+
+
+class TestConcurrentAccountant:
+    """Thread-hammer suite: charging must be atomic, never check-then-act.
+
+    Charges use ε = 2⁻¹⁰, which sums exactly in binary floating point, so
+    every assertion below is exact — no tolerance can mask a lost update
+    or a double-spend.
+    """
+
+    EPS = 2.0**-10
+    THREADS = 8
+
+    def _hammer(self, worker):
+        """Run ``worker(thread_index)`` on all threads through a barrier."""
+        barrier = threading.Barrier(self.THREADS)
+        errors = []
+
+        def body(index):
+            barrier.wait()
+            try:
+                worker(index)
+            except BaseException as error:  # pragma: no cover - fail loud
+                errors.append(error)
+                raise
+        threads = [
+            threading.Thread(target=body, args=(index,))
+            for index in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_concurrent_charges_never_overspend(self):
+        accountant = PrivacyAccountant(PrivacySpec(epsilon=1.0))
+        spec = PrivacySpec(self.EPS)
+        successes = [0] * self.THREADS
+
+        def worker(index):
+            for _ in range(300):
+                if accountant.try_charge(spec):
+                    successes[index] += 1
+
+        self._hammer(worker)
+        # Exactly the affordable 1024 charges landed — not one more.
+        assert sum(successes) == 1024
+        assert accountant.spent.epsilon == 1.0
+        assert accountant.remaining_epsilon == 0.0
+        assert len(accountant.ledger()) == 1024
+
+    def test_concurrent_charges_reconcile_with_ledger_events(self):
+        accountant = PrivacyAccountant(PrivacySpec(epsilon=1.0))
+        spec = PrivacySpec(self.EPS)
+        refused = [0] * self.THREADS
+
+        def worker(index):
+            for _ in range(300):
+                try:
+                    accountant.charge(spec)
+                except PrivacyBudgetError:
+                    refused[index] += 1
+
+        with tracing() as tracer:
+            self._hammer(worker)
+        epsilon, delta = ledger_totals(tracer.events)
+        assert epsilon == accountant.spent.epsilon == 1.0
+        assert delta == 0.0
+        assert tracer.metrics.counter("accountant.charges") == 1024
+        assert tracer.metrics.counter("accountant.refusals") == (
+            self.THREADS * 300 - 1024
+        )
+        assert sum(refused) == self.THREADS * 300 - 1024
+
+    def test_can_afford_is_advisory_but_charge_is_atomic(self):
+        """Racing the classic check-then-act sequence must still never
+        overshoot: only the atomic charge decides."""
+        accountant = PrivacyAccountant(PrivacySpec(epsilon=1.0))
+        spec = PrivacySpec(self.EPS)
+
+        def worker(index):
+            for _ in range(300):
+                if accountant.can_afford(spec):
+                    accountant.try_charge(spec)
+
+        self._hammer(worker)
+        assert accountant.spent.epsilon <= 1.0
+        assert len(accountant.ledger()) <= 1024
+
+    def test_concurrent_refunds_reconcile(self):
+        """Each thread refunds half of its own successful reservations;
+        the surviving ledger must equal spend exactly."""
+        accountant = PrivacyAccountant(PrivacySpec(epsilon=1.0))
+        spec = PrivacySpec(self.EPS)
+        kept = [0] * self.THREADS
+
+        def worker(index):
+            label = f"thread-{index}"
+            for round_index in range(100):
+                if not accountant.try_charge(spec, label=label):
+                    continue
+                if round_index % 2:
+                    accountant.refund(spec, label=label)
+                else:
+                    kept[index] += 1
+
+        with tracing() as tracer:
+            self._hammer(worker)
+        expected = sum(kept) * self.EPS
+        assert accountant.spent.epsilon == expected
+        assert len(accountant.ledger()) == sum(kept)
+        # Net of charge and refund events reproduces the final spend.
+        epsilon, _ = ledger_totals(tracer.events, kinds=("charge", "refund"))
+        assert epsilon == pytest.approx(expected)
+
+    def test_sharded_accountant_hammered_never_overspends(self):
+        accountant = ShardedAccountant(PrivacySpec(epsilon=1.0), shards=4)
+        spec = PrivacySpec(self.EPS)
+        successes = [0] * self.THREADS
+
+        def worker(index):
+            for _ in range(300):
+                if accountant.try_charge(spec):
+                    successes[index] += 1
+
+        self._hammer(worker)
+        assert sum(successes) == 1024
+        assert accountant.spent_epsilon == 1.0
+        assert not accountant.try_charge(spec)
 
 
 def _budgeted_case(epsilon, seed):

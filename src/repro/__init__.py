@@ -82,8 +82,10 @@ from repro.core import (
 )
 from repro.private_learning import (
     ExponentialMechanismLearner,
+    GibbsERMClassifier,
     ObjectivePerturbationClassifier,
     OutputPerturbationClassifier,
+    RegularizedExponentialMechanism,
 )
 
 __version__ = "1.0.0"
@@ -101,6 +103,7 @@ __all__ = [
     "GaussianMechanism",
     "GaussianThresholdTask",
     "GeometricMechanism",
+    "GibbsERMClassifier",
     "GibbsEstimator",
     "GibbsPosterior",
     "LaplaceMechanism",
@@ -117,6 +120,7 @@ __all__ = [
     "PrivacyBudgetError",
     "PrivacySpec",
     "RandomizedResponse",
+    "RegularizedExponentialMechanism",
     "ReproError",
     "SampledPrivacyAuditor",
     "SensitivityError",

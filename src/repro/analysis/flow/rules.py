@@ -113,7 +113,14 @@ class RawDataEgressRule(FlowRule):
     )
     default_severity = Severity.ERROR
     default_options = {
-        "packages": ("", "experiments", "testing", "privacy", "serving"),
+        "packages": (
+            "",
+            "experiments",
+            "testing",
+            "privacy",
+            "serving",
+            "private_learning",
+        ),
         # Sink kinds this rule enforces; "return" sinks are gated separately
         # because experiments legitimately return data-derived aggregates.
         "sinks": ("print", "logging", "file-write", "ledger"),

@@ -16,18 +16,24 @@ from repro.distributions.continuous import (
     NoiseDistribution,
 )
 from repro.distributions.sampling import (
+    BatchedLangevinSampler,
+    LangevinResult,
     MetropolisHastingsSampler,
     inverse_cdf_sample,
+    log_acceptance_ratio,
 )
 
 __all__ = [
+    "BatchedLangevinSampler",
     "CauchyNoise",
     "DiscreteDistribution",
     "GammaNormVector",
     "GaussianNoise",
     "GumbelNoise",
+    "LangevinResult",
     "LaplaceNoise",
     "NoiseDistribution",
     "MetropolisHastingsSampler",
     "inverse_cdf_sample",
+    "log_acceptance_ratio",
 ]

@@ -128,6 +128,17 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         ("repro.core.uniform_bounds", "repro.core.pac_bayes"),
         "benchmarks/bench_e16_uniform_vs_pac_bayes.py",
     ),
+    Experiment(
+        "E17",
+        "Extension — regularized exponential mechanism in R^d (batched "
+        "MALA) vs perturbation baselines",
+        (
+            "repro.private_learning.langevin",
+            "repro.distributions.sampling",
+            "repro.private_learning",
+        ),
+        "benchmarks/bench_e17_langevin_erm.py",
+    ),
 )
 
 

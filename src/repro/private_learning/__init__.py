@@ -16,6 +16,10 @@ from repro.private_learning.exponential_learner import (
     ExponentialMechanismLearner,
     direction_grid,
 )
+from repro.private_learning.langevin import (
+    GibbsERMClassifier,
+    RegularizedExponentialMechanism,
+)
 from repro.private_learning.regression import (
     GibbsRidgeRegression,
     SufficientStatisticsRidge,
@@ -31,10 +35,12 @@ from repro.private_learning.density import (
 __all__ = [
     "ExponentialMechanismLearner",
     "GibbsDensityEstimator",
+    "GibbsERMClassifier",
     "GibbsRidgeRegression",
     "LaplaceHistogramDensity",
     "ObjectivePerturbationClassifier",
     "OutputPerturbationClassifier",
+    "RegularizedExponentialMechanism",
     "SufficientStatisticsRidge",
     "beta_shape_family",
     "coefficient_grid",

@@ -38,7 +38,14 @@ def direction_grid(
 
     For d = 2, ``resolution`` equally-spaced directions on the circle; for
     higher d, a low-discrepancy set of unit vectors (Gaussian directions,
-    normalized) of size ``resolution``.
+    normalized) of size ``resolution``. Degenerate draws — a (near-)zero
+    Gaussian row, whose "direction" would be NaN, or an exact repeat of an
+    earlier direction, which would silently double that predictor's prior
+    mass — are discarded and redrawn, so the returned grid always holds
+    ``resolution`` distinct unit vectors; a :class:`ValidationError` is
+    raised if the generator cannot supply them (e.g. a stub RNG that only
+    ever produces the same row). Healthy generators never hit either
+    branch, so existing grids are unchanged.
     """
     if dimension < 2:
         raise ValidationError("dimension must be >= 2")
@@ -48,9 +55,28 @@ def direction_grid(
         angles = np.linspace(0.0, 2.0 * np.pi, resolution, endpoint=False)
         return [np.array([np.cos(a), np.sin(a)]) for a in angles]
     rng = check_random_state(random_state)
-    directions = rng.normal(size=(resolution, dimension))
-    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
-    return [directions[i] for i in range(resolution)]
+    directions: list[np.ndarray] = []
+    seen: set[bytes] = set()
+    for _ in range(100 * resolution):
+        if len(directions) == resolution:
+            break
+        row = rng.normal(size=dimension)
+        norm = np.linalg.norm(row)
+        if norm < 1e-12:
+            continue
+        unit = row / norm
+        key = unit.tobytes()
+        if key in seen:
+            continue
+        seen.add(key)
+        directions.append(unit)
+    if len(directions) < resolution:
+        raise ValidationError(
+            f"could not draw {resolution} distinct unit directions in "
+            f"dimension {dimension}: the generator keeps producing "
+            "degenerate (zero-norm) or duplicate rows"
+        )
+    return directions
 
 
 def _zero_one_loss(theta: np.ndarray, z) -> float:

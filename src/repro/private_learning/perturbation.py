@@ -35,7 +35,12 @@ def erm_argmin_sensitivity(
     """L2 sensitivity of the regularized-ERM minimizer: ``2L/(nΛ)``.
 
     Corollary 8 of Chaudhuri et al. (2011) for ‖x‖ ≤ 1 and an L-Lipschitz
-    convex loss under the substitution neighbour relation.
+    convex loss under the substitution neighbour relation. The bound is
+    ``2L/(nΛ)`` *because* the objective is Λ-strongly convex; as Λ → 0
+    the argmin stops being stable and the sensitivity diverges, so
+    configurations where the bound is not a finite positive float (an
+    underflowing Λ, an infinite L) are rejected rather than silently
+    calibrating infinite — i.e. vacuous — noise.
 
     Parameters
     ----------
@@ -50,7 +55,14 @@ def erm_argmin_sensitivity(
     regularization = check_positive(regularization, name="regularization")
     if n < 1:
         raise ValidationError("n must be >= 1")
-    return 2.0 * lipschitz / (n * regularization)
+    sensitivity = 2.0 * lipschitz / (n * regularization)
+    if not np.isfinite(sensitivity):
+        raise ValidationError(
+            "ERM argmin sensitivity 2L/(nΛ) is not finite: the objective "
+            "must be strongly convex (Λ bounded away from 0) with a "
+            "finite Lipschitz constant"
+        )
+    return sensitivity
 
 
 def _loss_curvature_bound(loss: MarginLoss) -> float:

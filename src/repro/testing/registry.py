@@ -23,6 +23,7 @@ from repro.core.gibbs import GibbsEstimator
 from repro.distributions.continuous import GumbelNoise, LaplaceNoise
 from repro.exceptions import ValidationError
 from repro.learning import BernoulliTask, PredictorGrid
+from repro.learning.losses import LogisticLoss, TruncatedLoss
 from repro.mechanisms import (
     ExponentialMechanism,
     GeometricMechanism,
@@ -227,6 +228,36 @@ def _gibbs(epsilon: float, n: int, noise_scale: float) -> PreparedAudit:
     )
 
 
+def _langevin(epsilon: float, n: int, noise_scale: float) -> PreparedAudit:
+    from repro.private_learning.langevin import RegularizedExponentialMechanism
+
+    loss = TruncatedLoss(LogisticLoss(), ceiling=1.0)
+    mechanism = RegularizedExponentialMechanism(loss, 0.5, epsilon)
+    if noise_scale != 1.0:
+        # Like the Gibbs sabotage knob: shrinking "noise" means inflating
+        # the temperature past what the claimed ε allows.
+        mechanism._temperature_scale = 1.0 / noise_scale
+    # Unit-norm features on the quarter circle; the neighbour flips the
+    # label of the record best aligned with the first axis, which moves
+    # the posterior over θ₁ the most (the audited projection).
+    angles = np.linspace(0.0, np.pi / 2.0, n)
+    x = tuple(
+        (float(np.cos(a)), float(np.sin(a))) for a in angles
+    )
+    y_a = (1,) * n
+    y_b = (-1,) + (1,) * (n - 1)
+    pair = NeighborPair((x, y_a), (x, y_b), name="one label flipped")
+    return PreparedAudit(
+        name="langevin",
+        mechanism=mechanism,
+        pair=pair,
+        epsilon=mechanism.epsilon,
+        kind="binned",
+        output_key=lambda theta: float(np.asarray(theta).reshape(-1)[0]),
+        note="regularized exponential mechanism over R^d via batched MALA",
+    )
+
+
 _BUILDERS: dict[str, Callable[[float, int, float], PreparedAudit]] = {
     "laplace": _laplace,
     "geometric": _geometric,
@@ -236,6 +267,7 @@ _BUILDERS: dict[str, Callable[[float, int, float], PreparedAudit]] = {
     "noisy-max": _noisy_max,
     "sparse-vector": _sparse_vector,
     "gibbs": _gibbs,
+    "langevin": _langevin,
 }
 
 #: Registry keys, in audit order.

@@ -401,7 +401,7 @@ class TestSelectExperiments:
     def test_glob_selects_range(self):
         selected = select_experiments(["E1?"])
         assert [e.id for e in selected] == [
-            "E10", "E11", "E12", "E13", "E14", "E15", "E16",
+            "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17",
         ]
 
     def test_case_insensitive_id(self):

@@ -48,6 +48,24 @@ class TestArgminSensitivity:
             gap = np.linalg.norm(base.coefficients - neighbour.coefficients)
             assert gap <= bound + 1e-9
 
+    def test_rejects_vanishing_regularization(self):
+        """Λ → 0 loses strong convexity: 2L/(nΛ) overflows to inf, which
+        would calibrate vacuous (infinite-scale) noise downstream."""
+        with pytest.raises(ValidationError, match="strongly convex"):
+            erm_argmin_sensitivity(1.0, 1e-320, 100)
+
+    def test_rejects_infinite_lipschitz(self):
+        with pytest.raises(ValidationError, match="finite"):
+            erm_argmin_sensitivity(np.inf, 0.1, 100)
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(ValidationError):
+            erm_argmin_sensitivity(1.0, 0.0, 100)
+        with pytest.raises(ValidationError):
+            erm_argmin_sensitivity(-1.0, 0.1, 100)
+        with pytest.raises(ValidationError):
+            erm_argmin_sensitivity(1.0, 0.1, 0)
+
 
 class TestOutputPerturbation:
     def test_accuracy_reasonable_at_large_epsilon(self, data):
@@ -171,6 +189,75 @@ class TestDirectionGrid:
             direction_grid(1, 8)
         with pytest.raises(ValidationError):
             direction_grid(2, 1)
+
+    def test_2d_directions_all_distinct(self):
+        grid = direction_grid(2, 64)
+        assert len({tuple(theta) for theta in grid}) == 64
+
+    def test_degenerate_zero_rows_are_skipped(self):
+        """A zero Gaussian row has no direction (0/0 → NaN); the grid must
+        skip it and keep drawing rather than emit a NaN predictor."""
+
+        class ZeroThenNormal(np.random.Generator):
+            def __init__(self):
+                super().__init__(np.random.PCG64(4))
+                self._calls = 0
+
+            def normal(self, *args, **kwargs):
+                self._calls += 1
+                if self._calls <= 2:
+                    return np.zeros(kwargs.get("size", args[-1] if args else None))
+                return super().normal(*args, **kwargs)
+
+        grid = direction_grid(3, 5, random_state=ZeroThenNormal())
+        assert len(grid) == 5
+        for theta in grid:
+            assert np.all(np.isfinite(theta))
+            assert np.linalg.norm(theta) == pytest.approx(1.0)
+
+    def test_duplicate_rows_are_deduplicated(self):
+        """Repeated rows would silently double a predictor's prior mass;
+        the grid must hold distinct directions."""
+
+        class RepeatFirstRow(np.random.Generator):
+            def __init__(self):
+                super().__init__(np.random.PCG64(4))
+                self._row = None
+                self._calls = 0
+
+            def normal(self, *args, **kwargs):
+                self._calls += 1
+                if self._calls == 1:
+                    self._row = super().normal(*args, **kwargs)
+                    return self._row
+                if self._calls <= 3:
+                    return self._row.copy()
+                return super().normal(*args, **kwargs)
+
+        grid = direction_grid(4, 6, random_state=RepeatFirstRow())
+        assert len(grid) == 6
+        assert len({tuple(theta) for theta in grid}) == 6
+
+    def test_exhausted_degenerate_generator_raises(self):
+        class AlwaysZero(np.random.Generator):
+            def __init__(self):
+                super().__init__(np.random.PCG64(0))
+
+            def normal(self, *args, **kwargs):
+                return np.zeros(kwargs.get("size", args[-1] if args else None))
+
+        with pytest.raises(ValidationError, match="distinct unit directions"):
+            direction_grid(3, 4, random_state=AlwaysZero())
+
+    def test_healthy_generator_grid_unchanged(self):
+        """The degeneracy guards must not perturb grids from real RNGs:
+        same rows, in order, as the raw bulk-draw construction (up to the
+        1-ulp wiggle of per-row vs axis-reduced norms)."""
+        rng = np.random.default_rng(12345)
+        raw = rng.normal(size=(16, 5))
+        raw /= np.linalg.norm(raw, axis=1, keepdims=True)
+        grid = direction_grid(5, 16, random_state=12345)
+        assert np.allclose(np.stack(grid), raw, rtol=0.0, atol=1e-14)
 
 
 class TestExponentialMechanismLearner:

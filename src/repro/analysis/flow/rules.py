@@ -120,6 +120,7 @@ class RawDataEgressRule(FlowRule):
             "privacy",
             "serving",
             "private_learning",
+            "local_privacy",
         ),
         # Sink kinds this rule enforces; "return" sinks are gated separately
         # because experiments legitimately return data-derived aggregates.

@@ -67,6 +67,7 @@ class DocstringParametersRule(Rule):
             "distributions",
             "private_learning",
             "privacy",
+            "local_privacy",
             "analysis",
             "testing",
             "observability",

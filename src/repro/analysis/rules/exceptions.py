@@ -49,6 +49,7 @@ class NoSilentExceptRule(Rule):
         "packages": (
             "mechanisms",
             "privacy",
+            "local_privacy",
             "private_learning",
             "analysis",
             "testing",

@@ -42,6 +42,7 @@ class RngDisciplineRule(Rule):
             "distributions",
             "private_learning",
             "privacy",
+            "local_privacy",
             "core",
             "information",
             "learning",

@@ -41,6 +41,7 @@ class NoNaiveSamplingRule(Rule):
             "mechanisms",
             "private_learning",
             "privacy",
+            "local_privacy",
             "core",
             "testing",
             "observability",

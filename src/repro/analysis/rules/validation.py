@@ -60,6 +60,7 @@ class ValidatePrivacyParamsRule(Rule):
             "distributions",
             "private_learning",
             "privacy",
+            "local_privacy",
             "testing",
             "observability",
             "serving",

@@ -139,6 +139,24 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         ),
         "benchmarks/bench_e17_langevin_erm.py",
     ),
+    Experiment(
+        "E18",
+        "Extension — DJW local minimax rates: mean-estimation MSE by "
+        "trust model + numerical data-processing inequality",
+        (
+            "repro.local_privacy.mechanisms",
+            "repro.local_privacy.estimation",
+            "repro.information",
+        ),
+        "benchmarks/bench_e18_local_minimax.py",
+    ),
+    Experiment(
+        "E19",
+        "Extension — locally-private SGD (privatized per-example "
+        "gradients) vs central-DP and non-private learners",
+        ("repro.local_privacy.sgd", "repro.local_privacy", "repro.learning"),
+        "benchmarks/bench_e19_local_sgd.py",
+    ),
 )
 
 

@@ -1,0 +1,67 @@
+"""The local model: privacy enforced at each client, before transmission.
+
+The paper treats the learner as a channel between the sample and the
+released hypothesis; local differential privacy moves that channel onto
+every individual record, which is exactly the regime Duchi, Jordan and
+Wainwright analyzed (*Local Privacy and Statistical Minimax Rates*;
+*Privacy Aware Learning*). This package collects the client-side
+toolkit:
+
+* :mod:`repro.local_privacy.mechanisms` — the minimax-optimal ℓ2/ℓ∞
+  sampling mechanisms with exact unbiasing constants, plus the
+  categorical mechanisms re-exported from :mod:`repro.privacy.local`,
+  all behind the shared :class:`~repro.privacy.local.LocalMechanism`
+  interface with vectorized ``privatize_many`` kernels;
+* :mod:`repro.local_privacy.estimation` — locally-private mean/median
+  estimators, the central-DP and non-private baselines, the order-level
+  minimax-rate predictions, and the numerical data-processing-inequality
+  check (Experiment E18);
+* :mod:`repro.local_privacy.sgd` — :class:`PrivateSGDClassifier`,
+  one-pass SGD on privatized per-example gradients, a drop-in peer of
+  the :mod:`repro.private_learning` classifiers (Experiment E19).
+
+See ``docs/LOCAL_PRIVACY.md`` for the mechanism catalog and the
+minimax-rate background.
+"""
+
+from repro.local_privacy.estimation import (
+    central_private_mean,
+    central_private_rate,
+    dpi_report,
+    local_minimax_rate,
+    locally_private_mean,
+    locally_private_median,
+    nonprivate_rate,
+)
+from repro.local_privacy.mechanisms import (
+    L2SamplingMechanism,
+    LInfSamplingMechanism,
+    hypercube_unbiasing_constant,
+    sphere_unbiasing_constant,
+)
+from repro.local_privacy.sgd import PrivateSGDClassifier
+from repro.privacy.local import (
+    KRandomizedResponse,
+    LocalMechanism,
+    UnaryEncoding,
+    clip_and_renormalize,
+)
+
+__all__ = [
+    "KRandomizedResponse",
+    "L2SamplingMechanism",
+    "LInfSamplingMechanism",
+    "LocalMechanism",
+    "PrivateSGDClassifier",
+    "UnaryEncoding",
+    "central_private_mean",
+    "central_private_rate",
+    "clip_and_renormalize",
+    "dpi_report",
+    "hypercube_unbiasing_constant",
+    "local_minimax_rate",
+    "locally_private_mean",
+    "locally_private_median",
+    "nonprivate_rate",
+    "sphere_unbiasing_constant",
+]

@@ -26,7 +26,12 @@ from repro.privacy.hypothesis_testing import (
     optimal_attack_roc,
     verify_tradeoff_dominance,
 )
-from repro.privacy.local import KRandomizedResponse, UnaryEncoding
+from repro.privacy.local import (
+    KRandomizedResponse,
+    LocalMechanism,
+    UnaryEncoding,
+    clip_and_renormalize,
+)
 from repro.privacy.renyi import (
     RenyiSpec,
     compose_rdp,
@@ -42,10 +47,12 @@ __all__ = [
     "AuditReport",
     "ExactPrivacyAuditor",
     "KRandomizedResponse",
+    "LocalMechanism",
     "RenyiSpec",
     "SampledPrivacyAuditor",
     "UnaryEncoding",
     "all_neighbour_pairs",
+    "clip_and_renormalize",
     "compose_rdp",
     "dp_advantage_bound",
     "dp_tradeoff_curve",

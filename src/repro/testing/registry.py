@@ -228,6 +228,55 @@ def _gibbs(epsilon: float, n: int, noise_scale: float) -> PreparedAudit:
     )
 
 
+def _local(epsilon: float, n: int, noise_scale: float) -> PreparedAudit:
+    from repro.privacy.local import KRandomizedResponse
+
+    categories = ("a", "b", "c", "d")
+    mechanism = KRandomizedResponse(categories, epsilon)
+    if noise_scale != 1.0:
+        # Sabotage: rebuild the response probabilities for a boosted ε —
+        # the report is more truthful than the claimed guarantee allows.
+        boosted = epsilon / noise_scale
+        k = len(categories)
+        mechanism.truth_probability = float(
+            np.exp(boosted) / (np.exp(boosted) + k - 1)
+        )
+        mechanism.lie_probability = float(1.0 / (np.exp(boosted) + k - 1))
+    # Local DP: the "dataset" is one client's record; neighbours differ
+    # in that single record, and p/q = e^ε makes the target exact.
+    pair = NeighborPair(("a",), ("b",), name="one client, category flip")
+    return PreparedAudit(
+        name="local",
+        mechanism=mechanism,
+        pair=pair,
+        epsilon=mechanism.epsilon,
+        kind="discrete",
+        output_key=lambda reports: reports[0],
+        note="k-RR per-record channel — the p/q ratio saturates ε exactly",
+    )
+
+
+def _local_sampling(epsilon: float, n: int, noise_scale: float) -> PreparedAudit:
+    from repro.local_privacy.mechanisms import L2SamplingMechanism
+
+    mechanism = L2SamplingMechanism(3, epsilon)
+    if noise_scale != 1.0:
+        # Sabotage: raise the keep-probability past what ε allows.
+        boosted = epsilon / noise_scale
+        mechanism.keep_probability = float(1.0 / (1.0 + np.exp(-boosted)))
+    record = np.array([1.0, 0.0, 0.0])
+    pair = NeighborPair((record,), (-record,), name="antipodal unit records")
+    return PreparedAudit(
+        name="local-sampling",
+        mechanism=mechanism,
+        pair=pair,
+        epsilon=mechanism.epsilon,
+        kind="binned",
+        output_key=lambda reports: float(np.asarray(reports).reshape(-1)[0]),
+        note="DJW ℓ2 sampling mechanism — halfsphere odds saturate ε",
+    )
+
+
 def _langevin(epsilon: float, n: int, noise_scale: float) -> PreparedAudit:
     from repro.private_learning.langevin import RegularizedExponentialMechanism
 
@@ -268,6 +317,8 @@ _BUILDERS: dict[str, Callable[[float, int, float], PreparedAudit]] = {
     "sparse-vector": _sparse_vector,
     "gibbs": _gibbs,
     "langevin": _langevin,
+    "local": _local,
+    "local-sampling": _local_sampling,
 }
 
 #: Registry keys, in audit order.

@@ -14,6 +14,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.information",
     "repro.learning",
+    "repro.local_privacy",
     "repro.mechanisms",
     "repro.observability",
     "repro.privacy",

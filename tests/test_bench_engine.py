@@ -402,6 +402,7 @@ class TestSelectExperiments:
         selected = select_experiments(["E1?"])
         assert [e.id for e in selected] == [
             "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17",
+            "E18", "E19",
         ]
 
     def test_case_insensitive_id(self):

@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ValidationError
-from repro.privacy.local import KRandomizedResponse, UnaryEncoding
+from repro.privacy.local import (
+    KRandomizedResponse,
+    UnaryEncoding,
+    clip_and_renormalize,
+)
 
 CATEGORIES = ["a", "b", "c", "d"]
 
@@ -111,3 +115,148 @@ class TestUnaryEncoding:
         krr = KRandomizedResponse(categories, epsilon=eps)
         unary = UnaryEncoding(categories, epsilon=eps)
         assert krr.estimator_variance(n) < unary.estimator_variance(n)
+
+class TestLocalMechanismEdgeCases:
+    """Edge cases shared by the frequency-oracle mechanisms."""
+
+    @pytest.mark.parametrize("cls", [KRandomizedResponse, UnaryEncoding])
+    def test_single_category_domain_rejected(self, cls):
+        with pytest.raises(ValidationError):
+            cls(["only"], epsilon=1.0)
+
+    @pytest.mark.parametrize("cls", [KRandomizedResponse, UnaryEncoding])
+    def test_duplicate_categories_rejected(self, cls):
+        with pytest.raises(ValidationError):
+            cls(["a", "b", "a"], epsilon=1.0)
+
+    @pytest.mark.parametrize("cls", [KRandomizedResponse, UnaryEncoding])
+    @pytest.mark.parametrize(
+        "epsilon", [0.0, -1.0, float("nan"), float("inf")]
+    )
+    def test_epsilon_boundaries_rejected(self, cls, epsilon):
+        """ε must be strictly positive and finite — 0, negatives, NaN and
+        inf all fail validation, not arithmetic."""
+        with pytest.raises(ValidationError):
+            cls(CATEGORIES, epsilon=epsilon)
+
+    @pytest.mark.parametrize("cls", [KRandomizedResponse, UnaryEncoding])
+    def test_unknown_record_rejected_by_privatize(self, cls):
+        mech = cls(CATEGORIES, epsilon=1.0)
+        with pytest.raises(ValidationError):
+            mech.privatize("z", random_state=0)
+
+    @pytest.mark.parametrize("cls", [KRandomizedResponse, UnaryEncoding])
+    def test_unknown_record_rejected_by_privatize_many(self, cls):
+        mech = cls(CATEGORIES, epsilon=1.0)
+        with pytest.raises(ValidationError):
+            mech.privatize_many(["a", "b", "z"], random_state=0)
+
+    @pytest.mark.parametrize("cls", [KRandomizedResponse, UnaryEncoding])
+    def test_unhashable_record_rejected(self, cls):
+        mech = cls(CATEGORIES, epsilon=1.0)
+        with pytest.raises(ValidationError):
+            mech.privatize(["not", "hashable"], random_state=0)
+
+    def test_unknown_report_rejected_by_estimator(self):
+        mech = KRandomizedResponse(CATEGORIES, epsilon=1.0)
+        with pytest.raises(ValidationError):
+            mech.estimate_frequencies(["a", "z"])
+
+    @pytest.mark.parametrize("cls", [KRandomizedResponse, UnaryEncoding])
+    def test_empty_batch_rejected(self, cls):
+        mech = cls(CATEGORIES, epsilon=1.0)
+        with pytest.raises(ValidationError):
+            mech.privatize_many([], random_state=0)
+
+
+class TestPrivatizeManyBitIdentity:
+    """The vectorized kernels must be stream-equivalent to per-record
+    calls: same Generator state in, identical reports out (DPL001 /
+    release_many discipline, extended to the local model)."""
+
+    def test_krr_matches_sequential_privatize(self):
+        mech = KRandomizedResponse(CATEGORIES, epsilon=1.0)
+        rng = np.random.default_rng(7)
+        records = sample_records(rng, n=2_000)
+        serial = [
+            mech.privatize(r, random_state=np.random.default_rng(42))
+            for r in records[:1]
+        ]
+        batch_rng = np.random.default_rng(42)
+        seq_rng = np.random.default_rng(42)
+        batch = mech.privatize_many(records, random_state=batch_rng)
+        sequential = [
+            mech.privatize(r, random_state=seq_rng) for r in records
+        ]
+        assert batch == sequential
+        assert serial[0] == batch[0]
+        # Both consume the same number of uniforms: the streams stay
+        # aligned for whatever draws next.
+        assert batch_rng.uniform() == seq_rng.uniform()
+
+    def test_unary_matches_sequential_privatize(self):
+        mech = UnaryEncoding(CATEGORIES, epsilon=1.0)
+        records = sample_records(np.random.default_rng(8), n=500)
+        batch_rng = np.random.default_rng(43)
+        seq_rng = np.random.default_rng(43)
+        batch = mech.privatize_many(records, random_state=batch_rng)
+        sequential = [
+            mech.privatize(r, random_state=seq_rng) for r in records
+        ]
+        assert len(batch) == len(sequential)
+        for got, expected in zip(batch, sequential):
+            np.testing.assert_array_equal(got, expected)
+        assert batch_rng.uniform() == seq_rng.uniform()
+
+    def test_release_matches_privatize_many(self):
+        mech = KRandomizedResponse(CATEGORIES, epsilon=1.0)
+        records = sample_records(np.random.default_rng(9), n=300)
+        assert mech.release(records, random_state=5) == mech.privatize_many(
+            records, random_state=5
+        )
+
+
+class TestClipAndRenormalize:
+    """Regression: tiny-n debiased estimates can leave the simplex."""
+
+    def test_tiny_sample_produces_negative_estimates(self):
+        """Three identical truthful reports at large ε push the other
+        coordinates' debiased estimates below zero — the bug fixed by
+        the clip option."""
+        mech = KRandomizedResponse(CATEGORIES, epsilon=6.0)
+        raw = mech.estimate_frequencies(["a", "a", "a"])
+        assert raw.min() < 0.0
+        clipped = mech.estimate_frequencies(["a", "a", "a"], clip=True)
+        assert clipped.min() >= 0.0
+        assert clipped.sum() == pytest.approx(1.0)
+        assert clipped.argmax() == 0
+
+    def test_unary_clip_option(self):
+        mech = UnaryEncoding(CATEGORIES, epsilon=6.0)
+        reports = np.tile(np.array([1, 0, 0, 0]), (3, 1))
+        raw = mech.estimate_frequencies(reports)
+        assert raw.min() < 0.0
+        clipped = mech.estimate_frequencies(reports, clip=True)
+        assert clipped.min() >= 0.0
+        assert clipped.sum() == pytest.approx(1.0)
+
+    def test_all_clipped_to_zero_falls_back_to_uniform(self):
+        out = clip_and_renormalize(np.array([-0.2, -0.1, -0.3]))
+        assert out == pytest.approx([1 / 3, 1 / 3, 1 / 3])
+
+    def test_in_simplex_input_is_unchanged(self):
+        est = np.array([0.5, 0.25, 0.15, 0.1])
+        assert clip_and_renormalize(est) == pytest.approx(est)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            np.zeros((2, 2)),
+            np.array([]),
+            np.array([0.5, np.nan]),
+            np.array([0.5, np.inf]),
+        ],
+    )
+    def test_invalid_inputs_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            clip_and_renormalize(bad)

@@ -51,7 +51,9 @@ class TestMechanismsHonourClaimedEpsilon:
         assert report.satisfied
         assert report.epsilon_lower_bound <= report.claimed_epsilon
 
-    @pytest.mark.parametrize("family", ["laplace", "randomized-response"])
+    @pytest.mark.parametrize(
+        "family", ["laplace", "randomized-response", "local"]
+    )
     def test_saturating_families_come_close(self, family):
         """RR and Laplace saturate ε; the certified bound should not be
         vacuous (a harness that always reports 0 would pass everything)."""
@@ -124,6 +126,21 @@ class TestHarnessHasTeeth:
         prepared = build_audit(
             "randomized-response", epsilon=EPSILON, n=1, noise_scale=0.4
         )
+        with pytest.raises(DPAuditError):
+            assert_dp(
+                prepared.mechanism,
+                prepared.pair,
+                epsilon=EPSILON,
+                name=prepared.name,
+                kind=prepared.kind,
+                output_key=prepared.output_key,
+                n_samples=SAMPLES,
+            )
+
+    def test_boosted_local_channel_fails(self):
+        """A k-RR report more truthful than ε allows must be rejected —
+        the per-record guarantee gives the audit a sharp target."""
+        prepared = build_audit("local", epsilon=EPSILON, n=1, noise_scale=0.4)
         with pytest.raises(DPAuditError):
             assert_dp(
                 prepared.mechanism,
